@@ -1,0 +1,50 @@
+// Ablation A9: Markov belief tracking vs the paper's stationary prior.
+//
+// Eq. (2) fuses sensing reports against the stationary utilization eta
+// every slot, discarding the channel memory the Markov model itself
+// provides. Propagating last slot's posterior through the transition
+// matrix (spectrum/belief.h) gives a sharper prior whenever the chain is
+// sticky (P01 + P10 small). This bench sweeps the mixing intensity at
+// fixed utilization and measures the end-to-end value of tracking for the
+// proposed scheme: large on sticky channels, none in the memoryless limit.
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "util/table.h"
+
+int main() {
+  using namespace femtocr;
+  util::Table table({"mixing (P01+P10)", "stationary prior (dB)",
+                     "belief tracking (dB)", "gain (dB)", "G_t static",
+                     "G_t tracked"});
+  for (double mixing : {0.1, 0.3, 0.7, 1.2}) {
+    sim::Scenario base = sim::single_fbs_scenario(29);
+    base.num_gops = 20;
+    base.spectrum.occupancy =
+        spectrum::MarkovParams::from_utilization(0.571, mixing);
+    base.finalize();
+
+    sim::Scenario tracked = base;
+    tracked.spectrum.track_beliefs = true;
+
+    const auto s = sim::run_experiment(base, core::SchemeKind::kProposed, 10);
+    const auto t =
+        sim::run_experiment(tracked, core::SchemeKind::kProposed, 10);
+    table.add_row({util::Table::num(mixing, 1),
+                   util::Table::num(s.mean_psnr.mean(), 2),
+                   util::Table::num(t.mean_psnr.mean(), 2),
+                   util::Table::num(t.mean_psnr.mean() - s.mean_psnr.mean(), 2),
+                   util::Table::num(s.avg_expected_channels.mean(), 2),
+                   util::Table::num(t.avg_expected_channels.mean(), 2)});
+  }
+  std::cout << "Ablation A9 — one-step Markov belief tracking vs the "
+               "stationary prior of Eq. (2)\n(single FBS, proposed scheme, "
+               "utilization fixed at the paper's 0.571)\n";
+  table.print(std::cout);
+  table.print_csv(std::cout, "abl_belief");
+  std::cout << "\nSticky channels (low mixing) reward memory; at the "
+               "paper's mixing of 0.7\nthe chain is fast and the stationary "
+               "prior loses little — consistent with\nthe paper's choice.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation A6: heterogeneous primary occupancy.
+//
+// Real bands are uneven: some channels are nearly always busy, others
+// mostly idle. At the same *mean* utilization, a heterogeneous ramp
+// carries more exploitable structure — the Bayesian posteriors separate
+// good channels from bad ones, the access policy admits the good ones more
+// often, and the posterior-weighted G_t grows. Compares a homogeneous
+// eta = 0.5 band against ramps of increasing spread with the same mean.
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "util/table.h"
+
+int main() {
+  using namespace femtocr;
+  util::Table table({"utilization profile", "Proposed (dB)", "avg G_t",
+                     "collision rate"});
+  struct Profile {
+    const char* name;
+    double lo, hi;
+  };
+  const Profile profiles[] = {
+      {"uniform 0.50", 0.5, 0.5},
+      {"ramp 0.40..0.60", 0.4, 0.6},
+      {"ramp 0.30..0.70", 0.3, 0.7},
+      {"ramp 0.15..0.85", 0.15, 0.85},
+  };
+  for (const auto& p : profiles) {
+    sim::Scenario s = sim::single_fbs_scenario(19);
+    s.num_gops = 20;
+    if (p.lo == p.hi) {
+      s.set_utilization(p.lo);
+    } else {
+      s.set_utilization_ramp(p.lo, p.hi);
+    }
+    s.finalize();
+    const auto res = sim::run_experiment(s, core::SchemeKind::kProposed, 10);
+    table.add_row({p.name, util::Table::num(res.mean_psnr.mean(), 2),
+                   util::Table::num(res.avg_expected_channels.mean(), 2),
+                   util::Table::num(res.collision_rate.mean(), 3)});
+  }
+  std::cout << "Ablation A6 — heterogeneous primary occupancy at equal mean "
+               "utilization (single FBS, proposed scheme)\n";
+  table.print(std::cout);
+  table.print_csv(std::cout, "abl_heterogeneous");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Fig. 6(b): average video quality vs spectrum-sensing error
+// pairs {eps, delta} in {(.2,.48), (.24,.38), (.3,.3), (.38,.24),
+// (.48,.2)}, three interfering FBSs, with the Eq.-(23) upper bound.
+//
+// Paper shape: quality dips when either error grows large, but the dynamic
+// range is small compared to the utilization sweep — both error types are
+// modeled inside the optimization, so the schemes degrade gracefully.
+// Proposed stays above both heuristics across the range.
+#include <iostream>
+
+#include "sim/sweeps.h"
+
+int main() {
+  using namespace femtocr;
+  sim::Scenario base = sim::interfering_scenario(/*seed=*/1);
+  base.num_gops = 10;
+  // x carries eps; delta is looked up from the paired table below.
+  const std::vector<double> xs = {0.20, 0.24, 0.30, 0.38, 0.48};
+  const auto delta_for = [](double eps) {
+    if (eps == 0.20) return 0.48;
+    if (eps == 0.24) return 0.38;
+    if (eps == 0.30) return 0.30;
+    if (eps == 0.38) return 0.24;
+    return 0.20;
+  };
+  const auto rows = sim::sweep(
+      base, xs,
+      [&](sim::Scenario& s, double eps) {
+        s.set_sensing_errors(eps, delta_for(eps));
+        s.finalize();
+      },
+      /*runs=*/10);
+  std::cout << "Fig. 6(b) — video quality vs sensing errors "
+               "(eps rising, delta falling; 3 interfering FBSs)\n";
+  sim::print_sweep(std::cout, "fig6b", "eps", rows, /*with_bound=*/true);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// P1: google-benchmark microbenchmarks of the core algorithmic kernels:
+// Bayesian fusion, the closed-form subproblem, exact water-filling, the
+// distributed subgradient, and the greedy channel allocator.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/dual_solver.h"
+#include "core/greedy.h"
+#include "core/subproblem.h"
+#include "core/waterfill.h"
+#include "net/interference_graph.h"
+#include "spectrum/sensing.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace femtocr;
+
+struct Fixture {
+  std::unique_ptr<net::InterferenceGraph> graph;
+  core::SlotContext ctx;
+};
+
+Fixture make_fixture(std::size_t num_users, std::size_t num_fbs,
+                     std::size_t num_channels, bool path_graph) {
+  util::Rng rng(99);
+  Fixture f;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  if (path_graph) {
+    for (std::size_t i = 0; i + 1 < num_fbs; ++i) edges.emplace_back(i, i + 1);
+  }
+  f.graph = std::make_unique<net::InterferenceGraph>(
+      net::InterferenceGraph::from_edges(num_fbs, edges));
+  f.ctx.num_fbs = num_fbs;
+  f.ctx.graph = f.graph.get();
+  for (std::size_t m = 0; m < num_channels; ++m) {
+    f.ctx.available.push_back(m);
+    f.ctx.posterior.push_back(rng.uniform(0.4, 1.0));
+  }
+  for (std::size_t j = 0; j < num_users; ++j) {
+    core::UserState u;
+    u.psnr = rng.uniform(28.0, 42.0);
+    u.success_mbs = rng.uniform(0.55, 0.98);
+    u.success_fbs = rng.uniform(0.55, 0.98);
+    u.rate_mbs = rng.uniform(0.45, 0.7);
+    u.rate_fbs = rng.uniform(0.45, 0.7);
+    u.fbs = j % num_fbs;
+    f.ctx.users.push_back(u);
+  }
+  return f;
+}
+
+void BM_SensingFusion(benchmark::State& state) {
+  const spectrum::SensorModel sensor{0.3, 0.3};
+  std::vector<spectrum::SensingReport> reports;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
+    reports.push_back({static_cast<int>(i % 2), sensor});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spectrum::posterior_idle(0.571, reports));
+  }
+}
+BENCHMARK(BM_SensingFusion)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SolveUser(benchmark::State& state) {
+  core::UserState u;
+  u.psnr = 31.0;
+  u.success_mbs = 0.8;
+  u.success_fbs = 0.92;
+  u.rate_mbs = 0.58;
+  u.rate_fbs = 0.58;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_user(u, 0.02, 0.03, 2.4));
+  }
+}
+BENCHMARK(BM_SolveUser);
+
+void BM_WaterfillSolve(benchmark::State& state) {
+  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)), 1, 4,
+                           false);
+  const std::vector<double> gt = {f.ctx.total_expected_channels()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::waterfill_solve(f.ctx, gt));
+  }
+}
+BENCHMARK(BM_WaterfillSolve)->Arg(3)->Arg(9)->Arg(24);
+
+void BM_DualSolver(benchmark::State& state) {
+  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)), 1, 4,
+                           false);
+  const std::vector<double> gt = {f.ctx.total_expected_channels()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_dual(f.ctx, gt));
+  }
+}
+BENCHMARK(BM_DualSolver)->Arg(3)->Arg(9);
+
+void BM_GreedyAllocate(benchmark::State& state) {
+  Fixture f = make_fixture(9, 3, static_cast<std::size_t>(state.range(0)),
+                           true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::greedy_allocate(f.ctx));
+  }
+}
+BENCHMARK(BM_GreedyAllocate)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Example: capacity planning for a femtocell CR operator.
+//
+// How many subscribers per femtocell can the spectrum sustain at a target
+// video quality? This example sweeps the number of users per cell and the
+// licensed-channel count, streaming MGS video with the proposed allocator,
+// and prints the quality matrix an operator would use to dimension the
+// deployment — an application the paper's framework enables beyond its own
+// evaluation.
+//
+//   ./build/examples/capacity_planning
+#include <iostream>
+
+#include "net/topology.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "util/table.h"
+
+int main() {
+  using namespace femtocr;
+  const std::vector<std::string> videos = {"Bus",     "Mobile", "Harbor",
+                                           "Foreman", "Crew",   "City"};
+
+  std::cout << "Average delivered Y-PSNR (dB), proposed scheme, one "
+               "femtocell,\nas a function of subscribers per cell and "
+               "licensed channels M:\n\n";
+  util::Table table({"users \\ M", "4", "8", "12"});
+  for (std::size_t users : {2u, 4u, 6u}) {
+    std::vector<std::string> row = {std::to_string(users)};
+    for (std::size_t channels : {4u, 8u, 12u}) {
+      sim::Scenario s = sim::single_fbs_scenario(31);
+      s.num_gops = 15;
+      s.spectrum.num_licensed = channels;
+      util::Rng rng(0xCAFE + users);
+      s.users = net::Topology::scatter_users(s.fbss, users, videos, rng);
+      s.finalize();
+      const auto res =
+          sim::run_experiment(s, core::SchemeKind::kProposed, 5);
+      row.push_back(util::Table::num(res.mean_psnr.mean(), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nReading the matrix: pick the cell load that keeps your\n"
+               "quality floor (e.g. 33 dB) at the spectrum you can access.\n"
+               "More channels help until the per-stream enhancement rate\n"
+               "saturates; more users dilute each stream's share.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Example: quality floors on top of the proportional-fair allocator.
+//
+// The plain proposed scheme maximizes log-sum quality; nothing stops one
+// user from landing visibly below the rest on a bad GOP. The QoS extension
+// reserves, each slot, the minimum share that keeps every stream on track
+// to a floor, then shares the rest proportionally fair. This example
+// measures what the guarantee costs: worst-user quality up, average barely
+// down.
+//
+//   ./build/examples/qos_streaming
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "core/qos.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace femtocr;
+  sim::Scenario scenario = sim::single_fbs_scenario(/*seed=*/77);
+  scenario.num_gops = 20;
+
+  struct Row {
+    std::string name;
+    util::RunningStat mean, worst;
+  };
+  std::vector<Row> rows;
+
+  auto run_with = [&](const std::string& name, auto make_scheme_fn) {
+    Row row;
+    row.name = name;
+    for (std::size_t r = 0; r < 10; ++r) {
+      sim::Simulator sim(scenario, make_scheme_fn(), r);
+      const sim::RunResult res = sim.run();
+      row.mean.add(res.mean_psnr);
+      row.worst.add(
+          *std::min_element(res.user_mean_psnr.begin(),
+                            res.user_mean_psnr.end()));
+    }
+    rows.push_back(std::move(row));
+  };
+
+  run_with("Proposed (plain)", [] {
+    return std::make_unique<core::ProposedScheme>();
+  });
+  for (double floor : {33.0, 34.0}) {
+    run_with("Uniform floor " + util::Table::num(floor, 0) + " dB", [&] {
+      return std::make_unique<core::QosProposedScheme>(
+          floor, scenario.gop_deadline);
+    });
+  }
+  // Targeted guarantee: flag only the structurally weakest stream (Mobile,
+  // the lowest base-layer quality) and let the rest share fairly.
+  run_with("Targeted floor (Mobile >= 34 dB)", [&] {
+    std::vector<double> floors(scenario.users.size(), 1.0);
+    for (std::size_t j = 0; j < scenario.users.size(); ++j) {
+      if (scenario.users[j].video_name == "Mobile") floors[j] = 34.0;
+    }
+    return std::make_unique<core::QosProposedScheme>(
+        floors, scenario.gop_deadline);
+  });
+
+  util::Table table({"Scheme", "Avg Y-PSNR (dB)", "Worst-user (dB)"});
+  for (const auto& r : rows) {
+    table.add_row({r.name, util::Table::num(r.mean.mean(), 2),
+                   util::Table::num(r.worst.mean(), 2)});
+  }
+  std::cout << "QoS floors vs plain proportional fairness "
+               "(single FBS, 10 runs):\n";
+  table.print(std::cout);
+  std::cout << "\nA feasible floor lifts the worst user at an average-PSNR\n"
+               "cost (guarantees are paid for in efficiency); infeasible\n"
+               "uniform floors degrade both — flag the users that matter\n"
+               "(targeted row) instead of flooring everyone.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Example: exploring the spectrum-sensor operating point.
+//
+// A detector's false-alarm (eps) and miss-detection (delta) probabilities
+// trade off along its ROC curve. This example sweeps operating points on a
+// synthetic energy-detector ROC, shows how the Bayesian fusion turns raw
+// reports into availability posteriors, and measures the end-to-end effect
+// on delivered video quality — reproducing the paper's observation that
+// quality is NOT very sensitive to sensing errors because both error types
+// are modeled inside the optimization.
+//
+//   ./build/examples/sensing_tradeoff
+#include <cmath>
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "spectrum/sensing.h"
+#include "util/table.h"
+
+namespace {
+
+// A simple concave ROC for an energy detector: delta(eps) = (1 - eps)^k.
+double roc_delta(double eps, double k = 2.2) { return std::pow(1.0 - eps, k); }
+
+}  // namespace
+
+int main() {
+  using namespace femtocr;
+
+  // --- Fusion anatomy ------------------------------------------------------
+  std::cout << "Posterior idle probability after L unanimous 'idle' reports\n"
+               "(eta = 0.571, eps = delta = 0.3 — the paper's baseline):\n";
+  const spectrum::SensorModel sensor{0.3, 0.3};
+  util::Table fusion({"L", "P^A (all idle)", "P^A (all busy)"});
+  for (int L = 1; L <= 5; ++L) {
+    std::vector<int> idle(L, 0), busy(L, 1);
+    fusion.add_row({std::to_string(L),
+                    util::Table::num(
+                        spectrum::posterior_idle(0.571, sensor, idle), 4),
+                    util::Table::num(
+                        spectrum::posterior_idle(0.571, sensor, busy), 4)});
+  }
+  fusion.print(std::cout);
+
+  // --- End-to-end sweep along the ROC -------------------------------------
+  std::cout << "\nDelivered quality along the detector ROC "
+               "(single FBS, proposed scheme, 10 runs each):\n";
+  util::Table table({"eps", "delta", "PSNR (dB)", "collision rate",
+                     "avg |A(t)|"});
+  for (double eps : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    const double delta = roc_delta(eps);
+    sim::Scenario s = sim::single_fbs_scenario(2027);
+    s.num_gops = 20;
+    s.set_sensing_errors(eps, delta);
+    s.finalize();
+    const auto res = sim::run_experiment(s, core::SchemeKind::kProposed, 10);
+    table.add_row({util::Table::num(eps, 2), util::Table::num(delta, 3),
+                   util::Table::num(res.mean_psnr.mean(), 2),
+                   util::Table::num(res.collision_rate.mean(), 3),
+                   util::Table::num(res.avg_available.mean(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nNote the narrow PSNR range: the optimization folds both\n"
+               "error types into the availability posteriors (Eqs. 2-4) and\n"
+               "the access policy (Eq. 7), so the system degrades gracefully\n"
+               "instead of falling off a cliff at bad operating points.\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "core/bounds.h"
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace femtocr::core {
+
+double delta_weighted_degree(const std::vector<GreedyStep>& steps) {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& s : steps) {
+    const double d = util::pos(s.delta);  // guard tiny negative solver noise
+    weighted += static_cast<double>(s.degree) * d;
+    total += d;
+  }
+  if (total <= 0.0) return 0.0;
+  return weighted / total;
+}
+
+double upper_bound_tight(double q_greedy, double q_empty, double d_bar) {
+  FEMTOCR_CHECK(d_bar >= 0.0, "Dbar must be nonnegative");
+  const double gain = util::pos(q_greedy - q_empty);
+  return q_empty + (1.0 + d_bar) * gain;
+}
+
+double upper_bound_dmax(double q_greedy, double q_empty, std::size_t dmax) {
+  const double gain = util::pos(q_greedy - q_empty);
+  return q_empty + (1.0 + static_cast<double>(dmax)) * gain;
+}
+
+}  // namespace femtocr::core

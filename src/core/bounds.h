@@ -1,0 +1,41 @@
+// Performance bounds for the greedy allocator
+// (paper Section IV-C.3, Lemmas 5–8, Theorem 2, Eq. 23).
+//
+// The paper proves  Q(Omega) <= (1 + Dbar) Q(pi_L)  with
+// Dbar = sum_l D(l) Delta_l / sum_l Delta_l (Eq. 23) and the looser
+// Q(Omega) <= (1 + Dmax) Q(pi_L) (Theorem 2), both derived under
+// Q(empty) = 0. In this implementation the channel-free objective
+// Q(empty) is positive (users can still stream from the MBS and log W > 0),
+// so we apply the bounds in their *incremental* form, which is what the
+// telescoping argument of Lemma 7 actually establishes:
+//     Q(Omega) - Q(empty) <= (1 + Dbar) * (Q(pi_L) - Q(empty)).
+// Both bound evaluators below return absolute objective values
+// Q(empty) + (1 + D) * (Q(pi_L) - Q(empty)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace femtocr::core {
+
+/// One step of the greedy allocation (Table III), with the bookkeeping the
+/// bounds need: Delta_l (Eq. 22) and D(l), the interference-graph degree of
+/// the FBS picked at step l (Lemma 8).
+struct GreedyStep {
+  std::size_t fbs = 0;
+  std::size_t channel = 0;   ///< licensed channel id
+  double delta = 0.0;        ///< Delta_l = Q(pi_l) - Q(pi_{l-1})
+  std::size_t degree = 0;    ///< D(l)
+};
+
+/// Dbar = sum_l D(l) Delta_l / sum_l Delta_l; 0 when no positive gain was
+/// accumulated (then the bound degenerates to Q itself).
+double delta_weighted_degree(const std::vector<GreedyStep>& steps);
+
+/// Eq. (23) upper bound (incremental form; see header comment).
+double upper_bound_tight(double q_greedy, double q_empty, double d_bar);
+
+/// Theorem 2 upper bound with the maximum degree (incremental form).
+double upper_bound_dmax(double q_greedy, double q_empty, std::size_t dmax);
+
+}  // namespace femtocr::core

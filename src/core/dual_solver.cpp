@@ -1,0 +1,113 @@
+#include "core/dual_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/objective.h"
+#include "core/subproblem.h"
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace femtocr::core {
+
+namespace {
+
+/// One pass of user subproblems at the current prices; fills shares and
+/// returns the per-resource share sums (index 0 = MBS, i+1 = FBS i).
+std::vector<double> user_best_responses(const SlotContext& ctx,
+                                        const std::vector<double>& gt_per_fbs,
+                                        const std::vector<double>& lambda,
+                                        SlotAllocation& alloc) {
+  std::vector<double> sums(ctx.num_fbs + 1, 0.0);
+  for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+    const UserState& u = ctx.users[j];
+    const UserChoice c =
+        solve_user(u, lambda[0], lambda[u.fbs + 1], gt_per_fbs[u.fbs]);
+    alloc.use_mbs[j] = c.use_mbs;
+    alloc.rho_mbs[j] = c.rho_mbs;
+    alloc.rho_fbs[j] = c.rho_fbs;
+    sums[0] += c.rho_mbs;
+    sums[u.fbs + 1] += c.rho_fbs;
+  }
+  return sums;
+}
+
+/// Projects the recovered primal point onto the slot budgets: if a resource
+/// is oversubscribed, its shares are scaled down proportionally. (At the
+/// converged prices the violation is at most the subgradient step's
+/// granularity; scaling preserves the assignment and near-optimality.)
+void rescale_to_budgets(const SlotContext& ctx, SlotAllocation& alloc) {
+  double sum_mbs = 0.0;
+  std::vector<double> sum_fbs(ctx.num_fbs, 0.0);
+  for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+    sum_mbs += alloc.rho_mbs[j];
+    sum_fbs[ctx.users[j].fbs] += alloc.rho_fbs[j];
+  }
+  const double scale_mbs = sum_mbs > 1.0 ? 1.0 / sum_mbs : 1.0;
+  std::vector<double> scale_fbs(ctx.num_fbs, 1.0);
+  for (std::size_t i = 0; i < ctx.num_fbs; ++i) {
+    if (sum_fbs[i] > 1.0) scale_fbs[i] = 1.0 / sum_fbs[i];
+  }
+  for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+    alloc.rho_mbs[j] *= scale_mbs;
+    alloc.rho_fbs[j] *= scale_fbs[ctx.users[j].fbs];
+  }
+}
+
+}  // namespace
+
+DualResult solve_dual(const SlotContext& ctx,
+                      const std::vector<double>& gt_per_fbs,
+                      const DualOptions& options) {
+  ctx.validate();
+  FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
+                "need one expected channel count per FBS");
+  FEMTOCR_CHECK(options.step_size > 0.0, "step size must be positive");
+  FEMTOCR_CHECK(options.tolerance >= 0.0, "tolerance must be nonnegative");
+
+  const std::size_t num_prices = ctx.num_fbs + 1;
+  std::vector<double> lambda(num_prices, options.initial_lambda);
+  if (options.warm_start) {
+    FEMTOCR_CHECK(options.warm_start->size() == num_prices,
+                  "warm start must provide one price per resource");
+    lambda = *options.warm_start;
+  }
+
+  DualResult result;
+  result.allocation = SlotAllocation::zeros(ctx);
+  result.allocation.expected_channels = gt_per_fbs;
+  if (options.record_trace) result.trace.push_back(lambda);
+
+  std::vector<double> next(num_prices);
+  for (std::size_t tau = 0; tau < options.max_iterations; ++tau) {
+    const std::vector<double> sums =
+        user_best_responses(ctx, gt_per_fbs, lambda, result.allocation);
+
+    // Eq. (16)/(18)/(19): lambda_i <- [lambda_i - s (1 - sum_j rho_ij)]^+.
+    for (std::size_t i = 0; i < num_prices; ++i) {
+      next[i] = util::pos(lambda[i] - options.step_size * (1.0 - sums[i]));
+    }
+    const double movement = util::squared_distance(next, lambda);
+    lambda = next;
+    if (options.record_trace) result.trace.push_back(lambda);
+    ++result.iterations;
+    if (movement <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Primal recovery at the final prices, then projection onto the budgets.
+  user_best_responses(ctx, gt_per_fbs, lambda, result.allocation);
+  rescale_to_budgets(ctx, result.allocation);
+  result.allocation.objective = slot_objective(ctx, result.allocation);
+  result.allocation.upper_bound = result.allocation.objective;
+  result.allocation.dual_iterations = result.iterations;
+  result.lambda = std::move(lambda);
+
+  // Every FBS holds its assigned expected channel count; the channel id
+  // lists are the caller's to fill (they depend on how gt was produced).
+  return result;
+}
+
+}  // namespace femtocr::core

@@ -1,0 +1,65 @@
+// Distributed dual-decomposition solver (paper Section IV-A.3, Tables I & II).
+//
+// The per-slot convex program (12)/(17) is solved by Lagrangian dual
+// decomposition: given prices lambda = [lambda_0, lambda_1..lambda_N] for
+// the slot-budget constraints, each CR user independently solves the
+// closed-form subproblem of Table I steps 3–8; the MBS then updates the
+// prices by a projected subgradient step (Eq. 16/18/19)
+//     lambda_i <- [lambda_i - s (1 - sum_j rho*_ij)]^+
+// and broadcasts them. Iterate until sum_i (lambda_i' - lambda_i)^2 <= phi.
+//
+// This mirrors the message flow the paper describes (users -> MBS shares,
+// MBS -> users prices); in-process it is a plain loop. The solver records
+// the full price trace on request — Fig. 4(a) is a direct dump of it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+
+namespace femtocr::core {
+
+struct DualOptions {
+  /// s in Eq. (16). Must be small relative to the optimal prices: at the
+  /// library's scales (W ~ 30 dB, R ~ 0.6 dB/slot) lambda* is around
+  /// S R / W ~ 0.02, so the default step is a few percent of that. Too
+  /// large a step makes the prices orbit the optimum without settling —
+  /// the classic subgradient failure mode.
+  double step_size = 2e-4;
+  /// phi: squared price movement to stop at. The subgradient has a kink
+  /// wherever a user is indifferent between base stations, so the movement
+  /// cannot fall below roughly (step * share-jump)^2 when the optimum sits
+  /// at such a kink; the default is just above that floor.
+  double tolerance = 1e-8;
+  std::size_t max_iterations = 100000;
+  double initial_lambda = 0.05; ///< starting price when no warm start given
+  bool record_trace = false;    ///< keep lambda(tau) for every tau
+
+  /// Warm start: prices from a previous solve (size num_fbs + 1). Greedy
+  /// channel allocation re-solves nearby problems hundreds of times per
+  /// slot; warm starting cuts iterations by an order of magnitude.
+  std::optional<std::vector<double>> warm_start;
+};
+
+struct DualResult {
+  SlotAllocation allocation;
+  std::vector<double> lambda;   ///< converged prices [lambda_0..lambda_N]
+  bool converged = false;
+  std::size_t iterations = 0;
+  /// lambda(tau) per iteration when record_trace is set; index 0 is the
+  /// initial point.
+  std::vector<std::vector<double>> trace;
+};
+
+/// Runs the Table I/II subgradient for the given expected channel counts
+/// per FBS (all equal to ctx.total_expected_channels() in the
+/// non-interfering cases; per-allocation G_i in the interfering case).
+/// The returned primal allocation is recovered at the final prices and then
+/// rescaled onto the slot budgets, so it is always feasible.
+DualResult solve_dual(const SlotContext& ctx,
+                      const std::vector<double>& gt_per_fbs,
+                      const DualOptions& options = {});
+
+}  // namespace femtocr::core

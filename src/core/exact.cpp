@@ -1,0 +1,64 @@
+#include "core/exact.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/waterfill.h"
+#include "util/check.h"
+
+namespace femtocr::core {
+
+ExactResult exact_allocate(const SlotContext& ctx, bool exhaustive_assignment,
+                           std::size_t max_combinations) {
+  ctx.validate();
+  const auto independent_sets = ctx.graph->independent_sets();
+  const std::size_t num_sets = independent_sets.size();
+  const std::size_t num_channels = ctx.available.size();
+
+  // Guard the combinatorial blow-up before starting.
+  double combos = 1.0;
+  for (std::size_t a = 0; a < num_channels; ++a) {
+    combos *= static_cast<double>(num_sets);
+  }
+  FEMTOCR_CHECK(combos <= static_cast<double>(max_combinations),
+                "exact allocation instance too large");
+
+  ExactResult result;
+  result.allocation = SlotAllocation::zeros(ctx);
+  result.allocation.objective = -std::numeric_limits<double>::infinity();
+
+  // Odometer over one independent-set choice per available channel.
+  std::vector<std::size_t> choice(num_channels, 0);
+  while (true) {
+    std::vector<double> gt(ctx.num_fbs, 0.0);
+    std::vector<std::vector<std::size_t>> channels(ctx.num_fbs);
+    for (std::size_t a = 0; a < num_channels; ++a) {
+      for (std::size_t fbs : independent_sets[choice[a]]) {
+        gt[fbs] += ctx.posterior[a];
+        channels[fbs].push_back(ctx.available[a]);
+      }
+    }
+    SlotAllocation alloc = exhaustive_assignment
+                               ? waterfill_solve_exhaustive(ctx, gt)
+                               : waterfill_solve(ctx, gt);
+    ++result.combinations;
+    if (alloc.objective > result.allocation.objective) {
+      alloc.channels = std::move(channels);
+      result.allocation = std::move(alloc);
+    }
+
+    // Advance the odometer.
+    std::size_t pos = 0;
+    while (pos < num_channels && ++choice[pos] == num_sets) {
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == num_channels) break;
+    if (num_channels == 0) break;
+  }
+
+  result.allocation.upper_bound = result.allocation.objective;
+  return result;
+}
+
+}  // namespace femtocr::core

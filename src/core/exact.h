@@ -1,0 +1,30 @@
+// Exact (brute-force) channel allocation for small instances.
+//
+// Problem (21)'s channel side assigns each available channel to an
+// independent set of the interference graph (Lemma 4); the per-channel
+// choices are otherwise unconstrained, so the global optimum is found by
+// enumerating one independent set per available channel and solving the
+// inner convex program for each combination. Cost is |IS|^|A(t)| inner
+// solves — guarded, and only used by tests/ablations to measure how close
+// the greedy gets (paper reports < 0.4 dB).
+#pragma once
+
+#include "core/types.h"
+
+namespace femtocr::core {
+
+struct ExactResult {
+  SlotAllocation allocation;      ///< the true optimum of problem (21)
+  std::size_t combinations = 0;   ///< inner solves performed
+};
+
+/// Enumerates all feasible channel allocations. Throws if the instance is
+/// too large (more than `max_combinations` inner solves would be needed).
+/// `exhaustive_assignment` additionally brute-forces the base-station
+/// assignment inside each inner solve (K <= 16) for a fully certified
+/// optimum; otherwise the fast water-filling solver is used.
+ExactResult exact_allocate(const SlotContext& ctx,
+                           bool exhaustive_assignment = false,
+                           std::size_t max_combinations = 2'000'000);
+
+}  // namespace femtocr::core

@@ -1,0 +1,88 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "core/objective.h"
+#include "core/waterfill.h"
+#include "util/check.h"
+
+namespace femtocr::core {
+
+GreedyResult greedy_allocate(const SlotContext& ctx) {
+  ctx.validate();
+  GreedyResult result;
+
+  // Candidate pairs (FBS, position into ctx.available). FBSs without users
+  // are skipped: any channel given to them contributes Delta = 0.
+  std::vector<bool> fbs_has_users(ctx.num_fbs, false);
+  for (const auto& u : ctx.users) fbs_has_users[u.fbs] = true;
+
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  for (std::size_t i = 0; i < ctx.num_fbs; ++i) {
+    if (!fbs_has_users[i]) continue;
+    for (std::size_t a = 0; a < ctx.available.size(); ++a) {
+      candidates.emplace_back(i, a);
+    }
+  }
+
+  std::vector<double> gt(ctx.num_fbs, 0.0);
+  std::vector<std::vector<std::size_t>> channels(ctx.num_fbs);
+
+  SlotAllocation current = waterfill_solve(ctx, gt);
+  result.q_empty = current.objective;
+
+  while (!candidates.empty()) {
+    // Table III step 3: argmax over remaining pairs of Q(c + e) - Q(c).
+    double best_q = -std::numeric_limits<double>::infinity();
+    std::size_t best_idx = 0;
+    SlotAllocation best_alloc;
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+      const auto [i, a] = candidates[k];
+      std::vector<double> trial = gt;
+      trial[i] += ctx.posterior[a];
+      SlotAllocation alloc = waterfill_solve(ctx, trial);
+      if (alloc.objective > best_q) {
+        best_q = alloc.objective;
+        best_idx = k;
+        best_alloc = std::move(alloc);
+      }
+    }
+
+    const auto [bi, ba] = candidates[best_idx];
+    GreedyStep step;
+    step.fbs = bi;
+    step.channel = ctx.available[ba];
+    step.delta = best_q - current.objective;
+    step.degree = ctx.graph->degree(bi);
+    result.steps.push_back(step);
+
+    gt[bi] += ctx.posterior[ba];
+    channels[bi].push_back(ctx.available[ba]);
+    current = std::move(best_alloc);
+
+    // Table III steps 5–6: drop the chosen pair and every conflicting pair
+    // R(i') x {m'}.
+    const auto& nbrs = ctx.graph->neighbors(bi);
+    std::erase_if(candidates, [&](const auto& cand) {
+      if (cand.second != ba) return false;
+      if (cand.first == bi) return true;
+      return std::find(nbrs.begin(), nbrs.end(), cand.first) != nbrs.end();
+    });
+  }
+
+  current.channels = std::move(channels);
+  current.expected_channels = std::move(gt);
+  result.d_bar = delta_weighted_degree(result.steps);
+  result.bound_tight =
+      upper_bound_tight(current.objective, result.q_empty, result.d_bar);
+  result.bound_dmax = upper_bound_dmax(current.objective, result.q_empty,
+                                       ctx.graph->max_degree());
+  current.upper_bound = result.bound_tight;
+  current.objective_empty = result.q_empty;
+  result.allocation = std::move(current);
+  return result;
+}
+
+}  // namespace femtocr::core

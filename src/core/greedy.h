@@ -1,0 +1,40 @@
+// Greedy FBS-channel allocation for interfering femtocells
+// (paper Section IV-C.2, Table III).
+//
+// Candidates are FBS-channel pairs over the slot's available set A(t). Each
+// round picks the pair with the largest objective increase
+// Q(c + e_{i,m}) - Q(c), allocates it, and removes the pair itself plus the
+// conflicting pairs R(i) x {m} from the candidate set (Lemma 4). Q(c) is
+// the optimal value of problem (17) for the expected channel counts implied
+// by c, evaluated with the exact water-filling solver (tests pin its
+// agreement with the paper's subgradient). Worst-case complexity is
+// O(N^2 M^2) Q-evaluations, as the paper states.
+//
+// The run records (Delta_l, D(l)) so the Eq.-(23) upper bound falls out as
+// a by-product — exactly how the paper's "Upper bound" curves are produced.
+#pragma once
+
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/types.h"
+
+namespace femtocr::core {
+
+struct GreedyResult {
+  /// Final allocation: channel lists + expected counts per FBS, shares and
+  /// assignment from the solve at the final allocation, objective Q(pi_L)
+  /// and the Eq.-(23) upper bound.
+  SlotAllocation allocation;
+  std::vector<GreedyStep> steps;  ///< the greedy trace (pi_1..pi_L)
+  double q_empty = 0.0;           ///< Q with no licensed channels
+  double d_bar = 0.0;             ///< Delta-weighted mean degree (Eq. 23)
+  double bound_tight = 0.0;       ///< Eq. (23) bound (== allocation.upper_bound)
+  double bound_dmax = 0.0;        ///< Theorem 2 bound
+};
+
+/// Runs Table III on the slot context. FBSs with no associated users are
+/// skipped (allocating them channels cannot increase the objective).
+GreedyResult greedy_allocate(const SlotContext& ctx);
+
+}  // namespace femtocr::core

@@ -1,0 +1,142 @@
+#include "core/heuristics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/objective.h"
+#include "util/check.h"
+
+namespace femtocr::core {
+
+std::vector<std::vector<std::size_t>> round_robin_channel_split(
+    const SlotContext& ctx, std::vector<double>& gt_out) {
+  std::vector<bool> fbs_has_users(ctx.num_fbs, false);
+  for (const auto& u : ctx.users) fbs_has_users[u.fbs] = true;
+
+  std::vector<std::vector<std::size_t>> channels(ctx.num_fbs);
+  gt_out.assign(ctx.num_fbs, 0.0);
+
+  for (std::size_t a = 0; a < ctx.available.size(); ++a) {
+    std::vector<std::size_t> holders;  // FBSs granted this channel
+    for (std::size_t off = 0; off < ctx.num_fbs; ++off) {
+      const std::size_t i = (a + off) % ctx.num_fbs;
+      if (!fbs_has_users[i]) continue;
+      bool conflict = false;
+      for (std::size_t h : holders) {
+        if (ctx.graph->has_edge(i, h)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict) {
+        holders.push_back(i);
+        channels[i].push_back(ctx.available[a]);
+        gt_out[i] += ctx.posterior[a];
+      }
+    }
+  }
+  return channels;
+}
+
+SlotAllocation heuristic_equal_allocation(const SlotContext& ctx) {
+  ctx.validate();
+  SlotAllocation alloc = SlotAllocation::zeros(ctx);
+  alloc.user_expected_channels.assign(ctx.users.size(), 0.0);
+
+  // Uncoordinated licensed access: every cell transmits over the whole
+  // available set. On contended channels the 1 + deg(i) neighbours share
+  // by random capture, which is lossier than a coordinated split — the
+  // capture efficiency discounts what a fair-share bound would grant
+  // (slotted-ALOHA-style loss). Isolated cells pay nothing.
+  constexpr double kUncoordinatedEfficiency = 0.7;
+  const double g_total = ctx.total_expected_channels();
+  std::vector<bool> fbs_has_users(ctx.num_fbs, false);
+  for (const auto& u : ctx.users) fbs_has_users[u.fbs] = true;
+  std::vector<double> g_eff(ctx.num_fbs, 0.0);
+  for (std::size_t i = 0; i < ctx.num_fbs; ++i) {
+    if (!fbs_has_users[i]) continue;
+    alloc.channels[i] = ctx.available;
+    alloc.expected_channels[i] = g_total;
+    const double deg = static_cast<double>(ctx.graph->degree(i));
+    g_eff[i] = deg > 0.0
+                   ? g_total * kUncoordinatedEfficiency / (1.0 + deg)
+                   : g_total;
+  }
+
+  // Local choice per user: expected delivery on the common channel vs the
+  // contended licensed side, assuming (optimistically) a full slot.
+  std::size_t mbs_count = 0;
+  std::vector<std::size_t> fbs_count(ctx.num_fbs, 0);
+  for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+    const UserState& u = ctx.users[j];
+    const double gain_mbs = u.success_mbs * u.rate_mbs;
+    const double gain_fbs = u.success_fbs * u.rate_fbs * g_eff[u.fbs];
+    alloc.use_mbs[j] = gain_mbs > gain_fbs;  // ties go to the licensed side
+    if (alloc.use_mbs[j]) {
+      ++mbs_count;
+    } else {
+      ++fbs_count[u.fbs];
+    }
+  }
+
+  // Equal slot shares within each base station.
+  for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+    const UserState& u = ctx.users[j];
+    if (alloc.use_mbs[j]) {
+      alloc.rho_mbs[j] = 1.0 / static_cast<double>(mbs_count);
+    } else {
+      alloc.rho_fbs[j] = 1.0 / static_cast<double>(fbs_count[u.fbs]);
+      alloc.user_expected_channels[j] = g_eff[u.fbs];
+    }
+  }
+
+  alloc.objective = slot_objective(ctx, alloc);
+  alloc.upper_bound = alloc.objective;
+  return alloc;
+}
+
+SlotAllocation heuristic_multiuser_diversity(const SlotContext& ctx) {
+  ctx.validate();
+  SlotAllocation alloc = SlotAllocation::zeros(ctx);
+  alloc.channels = round_robin_channel_split(ctx, alloc.expected_channels);
+
+  std::vector<bool> served(ctx.users.size(), false);
+
+  // Each FBS grants the whole slot to its best-conditioned user.
+  for (std::size_t i = 0; i < ctx.num_fbs; ++i) {
+    double best = -std::numeric_limits<double>::infinity();
+    std::size_t best_user = ctx.users.size();
+    for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+      if (ctx.users[j].fbs != i) continue;
+      if (ctx.users[j].success_fbs > best) {
+        best = ctx.users[j].success_fbs;
+        best_user = j;
+      }
+    }
+    if (best_user < ctx.users.size() && alloc.expected_channels[i] > 0.0) {
+      alloc.rho_fbs[best_user] = 1.0;
+      served[best_user] = true;
+    }
+  }
+
+  // The MBS grants its slot to the best-conditioned user not already served.
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_user = ctx.users.size();
+  for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+    if (served[j]) continue;
+    if (ctx.users[j].success_mbs > best) {
+      best = ctx.users[j].success_mbs;
+      best_user = j;
+    }
+  }
+  if (best_user < ctx.users.size()) {
+    alloc.use_mbs[best_user] = true;
+    alloc.rho_mbs[best_user] = 1.0;
+  }
+
+  alloc.objective = slot_objective(ctx, alloc);
+  alloc.upper_bound = alloc.objective;
+  return alloc;
+}
+
+}  // namespace femtocr::core

@@ -1,0 +1,50 @@
+// The two baseline schemes the paper compares against (Section V).
+//
+// Heuristic 1 — equal allocation: each CR user locally picks the better of
+// the common channel and its FBS's licensed side, and each base station
+// divides its slot equally among the users that chose it. Decisions are
+// purely local ("each CR user chooses a channel mode by itself regardless
+// of other CR users"), so there is no inter-cell channel coordination:
+// every cell transmits across the whole available set and interfering
+// neighbours collide. Contended channels resolve by random capture, which
+// is lossier than a coordinated split: G^eff_i = 0.7 G_t / (1 + deg(i))
+// for cells with interfering neighbours (the 0.7 capture efficiency is the
+// ALOHA-style price of no coordination), G_t for isolated ones. This is the
+// local-decision waste the paper's Section V points at; note the resulting
+// allocation deliberately violates problem (21)'s interference constraint
+// in interfering topologies (SlotAllocation::feasible reports false
+// there), which is exactly why the scheme underperforms.
+//
+// Heuristic 2 — multiuser diversity: decisions are made at the base
+// stations. Each FBS grants its entire slot to its user with the best
+// channel condition (highest success probability); the MBS grants its slot
+// to the best-conditioned user not already served by an FBS. Resources are
+// never idle, but users with weaker links are starved.
+//
+// Both heuristics see the same information as the proposed scheme: the
+// distributional link qualities (success probabilities), not the fading
+// realizations — the paper's formulation assumes only statistical CSI.
+//
+// Neither heuristic optimizes the channel assignment across interfering
+// FBSs; both use a simple interference-respecting round-robin split of the
+// available channels (non-interfering FBSs still reuse every channel).
+#pragma once
+
+#include "core/types.h"
+
+namespace femtocr::core {
+
+/// Assigns each available channel to a maximal independent set of FBSs,
+/// rotating the starting FBS per channel for fairness. FBSs with no users
+/// are skipped. Returns per-FBS channel id lists; `gt_out` receives the
+/// matching expected channel counts.
+std::vector<std::vector<std::size_t>> round_robin_channel_split(
+    const SlotContext& ctx, std::vector<double>& gt_out);
+
+/// Heuristic 1 (equal allocation).
+SlotAllocation heuristic_equal_allocation(const SlotContext& ctx);
+
+/// Heuristic 2 (multiuser diversity).
+SlotAllocation heuristic_multiuser_diversity(const SlotContext& ctx);
+
+}  // namespace femtocr::core

@@ -1,0 +1,98 @@
+#include "core/kkt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/subproblem.h"
+#include "core/waterfill.h"
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace femtocr::core {
+
+namespace {
+
+/// Marginal value of one more unit of share for user j on its assigned
+/// resource: S R / (W + rho R).
+double marginal(const UserState& u, double rate, double success, double rho) {
+  return success * rate / (u.psnr + rho * rate);
+}
+
+}  // namespace
+
+KktReport check_kkt(const SlotContext& ctx,
+                    const std::vector<double>& gt_per_fbs,
+                    const SlotAllocation& alloc) {
+  ctx.validate();
+  FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
+                "need one expected channel count per FBS");
+  const std::size_t K = ctx.users.size();
+  FEMTOCR_CHECK(alloc.use_mbs.size() == K && alloc.rho_mbs.size() == K &&
+                    alloc.rho_fbs.size() == K,
+                "allocation shape mismatch");
+
+  KktReport report;
+
+  // Per-resource water-level analysis. Resource 0 = MBS, i+1 = FBS i.
+  for (std::size_t res = 0; res <= ctx.num_fbs; ++res) {
+    const bool mbs_side = (res == 0);
+    double level_lo = 1e300, level_hi = 0.0;  // marginals of positive shares
+    double budget = 0.0;
+    bool improvable_member = false;  // rho < cap with positive marginal
+    std::vector<double> zero_marginals;
+    for (std::size_t j = 0; j < K; ++j) {
+      const UserState& u = ctx.users[j];
+      const bool member =
+          mbs_side ? alloc.use_mbs[j]
+                   : (!alloc.use_mbs[j] && u.fbs == res - 1);
+      if (!member) continue;
+      const double rate =
+          mbs_side ? u.rate_mbs : u.rate_fbs * gt_per_fbs[res - 1];
+      const double success = mbs_side ? u.success_mbs : u.success_fbs;
+      const double rho = mbs_side ? alloc.rho_mbs[j] : alloc.rho_fbs[j];
+      budget += rho;
+      if (rate <= 0.0 || success <= 0.0) continue;
+      const double m = marginal(u, rate, success, rho);
+      if (rho < kRhoCap - 1e-9) improvable_member = true;
+      if (rho > 1e-9 && rho < kRhoCap - 1e-9) {
+        level_lo = std::min(level_lo, m);
+        level_hi = std::max(level_hi, m);
+      } else if (rho <= 1e-9) {
+        zero_marginals.push_back(m);
+      }
+    }
+    report.budget_violation =
+        std::max(report.budget_violation, budget - 1.0);
+    if (improvable_member) {
+      // Lambda > 0 requires the budget to bind (complementary slackness);
+      // unspent budget next to a member that could grow is suboptimal.
+      report.slack_residual =
+          std::max(report.slack_residual, util::pos(1.0 - budget));
+    }
+    if (level_hi > 0.0 && level_lo < 1e300) {
+      report.stationarity_residual =
+          std::max(report.stationarity_residual,
+                   (level_hi - level_lo) / level_hi);
+      for (double m : zero_marginals) {
+        report.exclusion_residual = std::max(
+            report.exclusion_residual, util::pos(m - level_hi) / level_hi);
+      }
+    }
+  }
+
+  // Discrete dimension: best single-assignment flip, certified by exact
+  // re-water-filling.
+  const double base =
+      waterfill_evaluate(ctx, gt_per_fbs, alloc.use_mbs).objective;
+  std::vector<bool> flipped = alloc.use_mbs;
+  for (std::size_t j = 0; j < K; ++j) {
+    flipped[j] = !flipped[j];
+    const double v = waterfill_evaluate(ctx, gt_per_fbs, flipped).objective;
+    report.assignment_regret =
+        std::max(report.assignment_regret, v - base);
+    flipped[j] = !flipped[j];
+  }
+  return report;
+}
+
+}  // namespace femtocr::core

@@ -1,0 +1,54 @@
+// KKT optimality certification for slot allocations.
+//
+// Problem (12)/(17) is convex with linear constraints, so an allocation is
+// optimal iff (a) it is primal feasible, (b) within each resource the
+// positive shares equalize the marginal value S R / (W + rho R) (the
+// shared water level lambda) and every zero share has marginal at most
+// that level, and (c) no single user can improve the objective by
+// switching base stations (the discrete assignment dimension, certified
+// by re-water-filling each flipped assignment exactly).
+//
+// The certifier is a diagnostic: tests use it to prove the solvers reach
+// KKT points, and library users can run it against allocations from any
+// source (including their own schedulers).
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace femtocr::core {
+
+struct KktReport {
+  /// Largest relative spread of marginal values among positive shares of
+  /// one resource (0 = perfectly equalized water level).
+  double stationarity_residual = 0.0;
+  /// Largest amount by which a zero share's marginal exceeds its
+  /// resource's water level, relative to the level (0 = none).
+  double exclusion_residual = 0.0;
+  /// Largest slot-budget overshoot across resources.
+  double budget_violation = 0.0;
+  /// Complementary slackness: unspent budget on a resource where some
+  /// member could still profitably grow its share (positive marginal,
+  /// below the cap). Reported as the unspent amount.
+  double slack_residual = 0.0;
+  /// Largest objective improvement available from flipping a single
+  /// user's base station (objective units).
+  double assignment_regret = 0.0;
+
+  /// All residuals within tolerance.
+  bool optimal(double tol = 1e-5) const {
+    return stationarity_residual <= tol && exclusion_residual <= tol &&
+           budget_violation <= tol && slack_residual <= tol &&
+           assignment_regret <= tol;
+  }
+};
+
+/// Certifies `alloc` against the slot problem with the given expected
+/// channel counts. `alloc` must be structurally consistent with `ctx`
+/// (shapes are checked).
+KktReport check_kkt(const SlotContext& ctx,
+                    const std::vector<double>& gt_per_fbs,
+                    const SlotAllocation& alloc);
+
+}  // namespace femtocr::core

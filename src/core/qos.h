@@ -1,0 +1,72 @@
+// QoS-floor resource allocation (extension).
+//
+// The paper's introduction motivates femtocell video by QoS provisioning;
+// its formulation optimizes proportional fairness without hard guarantees.
+// This extension layers a per-user quality floor on top: at each slot,
+// every user first receives the minimum share that keeps its GOP on track
+// to end at `min_psnr` (spreading the remaining deficit over the remaining
+// slots), and only the leftover slot budget is allocated by the
+// proportional-fair water-filling. When the floors alone exceed a slot
+// budget the plan is best-effort: floor shares are scaled down
+// proportionally and the plan is flagged infeasible for that slot.
+//
+// The result plugs into the simulator through the Scheme interface
+// (QosProposedScheme), so the guarantee's cost can be measured end to end.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/scheme.h"
+#include "core/types.h"
+
+namespace femtocr::core {
+
+struct QosPlan {
+  SlotAllocation allocation;
+  std::vector<double> floor_shares;  ///< per-user reserved share
+  bool floors_met = true;  ///< false when a slot budget forced scaling
+};
+
+/// Computes the floored allocation for one slot. `min_psnr[j]` is user j's
+/// GOP-end quality floor; `slots_remaining` counts this slot and the rest
+/// of the GOP window. The base-station assignment is taken from the
+/// unconstrained optimum (floors shift shares, not the topology-driven
+/// attach decision).
+QosPlan qos_solve(const SlotContext& ctx, const std::vector<double>& gt_per_fbs,
+                  const std::vector<double>& min_psnr,
+                  std::size_t slots_remaining);
+
+/// Scheme wrapper: the proposed allocator with quality floors — uniform
+/// across users, or targeted per user (the realistic deployment: guarantee
+/// the premium subscribers, share the rest fairly). Tracks the slot
+/// position within the GOP from the calls it receives (one call per slot,
+/// as the simulator guarantees).
+///
+/// Floors are reservations in expectation: they are honored exactly when
+/// jointly feasible; otherwise each oversubscribed slot scales them down
+/// proportionally (best effort) and is counted in
+/// slots_with_scaled_floors(). A uniform floor above what the spectrum can
+/// carry therefore redistributes by deficit-per-link-cost rather than
+/// guaranteeing anyone — prefer targeted floors for hard guarantees.
+class QosProposedScheme final : public Scheme {
+ public:
+  QosProposedScheme(double min_psnr, std::size_t gop_deadline);
+  /// Per-user floors (dB at GOP end); size must match the slot contexts'
+  /// user count.
+  QosProposedScheme(std::vector<double> min_psnr, std::size_t gop_deadline);
+
+  std::string name() const override { return "QoS-Proposed"; }
+  SlotAllocation allocate(const SlotContext& ctx) override;
+
+  std::size_t slots_with_scaled_floors() const { return scaled_; }
+
+ private:
+  std::vector<double> min_psnr_;  ///< empty = uniform via uniform_floor_
+  double uniform_floor_ = 0.0;
+  std::size_t gop_deadline_;
+  std::size_t slot_ = 0;
+  std::size_t scaled_ = 0;
+};
+
+}  // namespace femtocr::core

@@ -1,0 +1,71 @@
+#include "core/scheme.h"
+
+#include "core/greedy.h"
+#include "core/waterfill.h"
+#include "core/heuristics.h"
+#include "util/check.h"
+
+namespace femtocr::core {
+
+const char* scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kProposed: return "Proposed";
+    case SchemeKind::kHeuristic1: return "Heuristic1";
+    case SchemeKind::kHeuristic2: return "Heuristic2";
+  }
+  return "?";
+}
+
+ProposedScheme::ProposedScheme(DualOptions options,
+                               bool use_distributed_solver)
+    : options_(std::move(options)),
+      use_distributed_solver_(use_distributed_solver) {}
+
+SlotAllocation ProposedScheme::allocate(const SlotContext& ctx) {
+  if (ctx.graph->num_edges() == 0) {
+    // Non-interfering: every FBS reuses all available channels (spatial
+    // reuse); Tables I/II apply and achieve the optimum.
+    std::vector<double> gt(ctx.num_fbs, ctx.total_expected_channels());
+    if (use_distributed_solver_) {
+      DualOptions opts = options_;
+      if (warm_lambda_.size() == ctx.num_fbs + 1) {
+        opts.warm_start = warm_lambda_;
+      }
+      DualResult res = solve_dual(ctx, gt, opts);
+      warm_lambda_ = res.lambda;
+      res.allocation.channels.assign(ctx.num_fbs, ctx.available);
+      res.allocation.objective_empty = res.allocation.objective;
+      return res.allocation;
+    }
+    SlotAllocation alloc = waterfill_solve(ctx, gt);
+    alloc.channels.assign(ctx.num_fbs, ctx.available);
+    alloc.objective_empty = alloc.objective;
+    return alloc;
+  }
+  // Interfering: Table III greedy channel allocation; prices are not
+  // carried over (the inner solver is the exact water-filling).
+  GreedyResult res = greedy_allocate(ctx);
+  return res.allocation;
+}
+
+SlotAllocation EqualAllocationScheme::allocate(const SlotContext& ctx) {
+  return heuristic_equal_allocation(ctx);
+}
+
+SlotAllocation MultiuserDiversityScheme::allocate(const SlotContext& ctx) {
+  return heuristic_multiuser_diversity(ctx);
+}
+
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind, DualOptions options) {
+  switch (kind) {
+    case SchemeKind::kProposed:
+      return std::make_unique<ProposedScheme>(std::move(options));
+    case SchemeKind::kHeuristic1:
+      return std::make_unique<EqualAllocationScheme>();
+    case SchemeKind::kHeuristic2:
+      return std::make_unique<MultiuserDiversityScheme>();
+  }
+  FEMTOCR_CHECK(false, "unknown scheme kind");
+}
+
+}  // namespace femtocr::core

@@ -1,0 +1,51 @@
+#include "core/subproblem.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace femtocr::core {
+
+double best_share(double success, double psnr, double rate, double lambda) {
+  FEMTOCR_CHECK(psnr > 0.0, "PSNR state must be positive");
+  if (rate <= 0.0 || success <= 0.0) return 0.0;
+  if (lambda <= 0.0) return kRhoCap;  // free resource: take the cap
+  // d/drho [S log(W + rho R) - lambda rho] = S R/(W + rho R) - lambda = 0.
+  const double rho = success / lambda - psnr / rate;
+  return util::clamp(rho, 0.0, kRhoCap);
+}
+
+UserChoice solve_user(const UserState& u, double lambda_mbs, double lambda_fbs,
+                      double g) {
+  UserChoice c;
+  const double rho0 = best_share(u.success_mbs, u.psnr, u.rate_mbs, lambda_mbs);
+  const double effective_rate = u.rate_fbs * g;
+  const double rho1 = best_share(u.success_fbs, u.psnr, effective_rate,
+                                 lambda_fbs);
+
+  // Branch values are the exact conditional expectations E[log W^t]
+  // minus the price of the share taken (see objective.h on the
+  // (1 - S) log W loss-branch term).
+  const double log_w = std::log(u.psnr);
+  const double value_mbs =
+      u.success_mbs * std::log(u.psnr + rho0 * u.rate_mbs) +
+      (1.0 - u.success_mbs) * log_w - lambda_mbs * rho0;
+  const double value_fbs =
+      u.success_fbs * std::log(u.psnr + rho1 * effective_rate) +
+      (1.0 - u.success_fbs) * log_w - lambda_fbs * rho1;
+
+  // Table I step 4: strict '>' sends the user to the MBS, ties to the FBS.
+  if (value_mbs > value_fbs) {
+    c.use_mbs = true;
+    c.rho_mbs = rho0;
+    c.lagrangian = value_mbs;
+  } else {
+    c.use_mbs = false;
+    c.rho_fbs = rho1;
+    c.lagrangian = value_fbs;
+  }
+  return c;
+}
+
+}  // namespace femtocr::core

@@ -1,0 +1,38 @@
+// Per-user Lagrangian subproblem (paper Eq. 14, Table I steps 3–8).
+//
+// For dual prices (lambda_0 for the common channel, lambda_i for the user's
+// FBS) the per-user maximizer has the closed form
+//     rho_0 = [ S_0/lambda_0 - W / R_0 ]^+
+//     rho_i = [ S_i/lambda_i - W / (R_i G_i) ]^+
+// and the base-station choice compares the two resulting Lagrangian values;
+// by Theorem 1 the choice is binary (p in {0,1}).
+#pragma once
+
+#include "core/types.h"
+
+namespace femtocr::core {
+
+/// Result of one user's subproblem at fixed dual prices.
+struct UserChoice {
+  bool use_mbs = false;   ///< p_j == 1
+  double rho_mbs = 0.0;   ///< optimal share if connected to the MBS, else 0
+  double rho_fbs = 0.0;   ///< optimal share if connected to the FBS, else 0
+  double lagrangian = 0.0;  ///< value of the chosen branch
+};
+
+/// Options shared with the dual solver: rho is capped (the full-slot share 1
+/// is the most any single user can use, and the cap keeps the subgradient
+/// bounded when a price hits zero).
+inline constexpr double kRhoCap = 1.0;
+
+/// Unconstrained-in-rho maximizer of S log(W + rho R) - lambda rho over
+/// [0, kRhoCap]. R == 0 yields rho = 0.
+double best_share(double success, double psnr, double rate, double lambda);
+
+/// Solves the user's subproblem (Table I steps 3–8): computes both branch
+/// shares, evaluates both Lagrangian values and keeps the better branch
+/// (zeroing the other share). `g` is G^t for the user's FBS.
+UserChoice solve_user(const UserState& u, double lambda_mbs, double lambda_fbs,
+                      double g);
+
+}  // namespace femtocr::core

@@ -1,0 +1,93 @@
+#include "core/types.h"
+
+#include "util/check.h"
+
+namespace femtocr::core {
+
+double SlotContext::total_expected_channels() const {
+  double g = 0.0;
+  for (double p : posterior) g += p;
+  return g;
+}
+
+std::vector<std::size_t> SlotContext::users_of(std::size_t fbs) const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < users.size(); ++j) {
+    if (users[j].fbs == fbs) out.push_back(j);
+  }
+  return out;
+}
+
+void SlotContext::validate() const {
+  FEMTOCR_CHECK(!users.empty(), "slot context needs users");
+  FEMTOCR_CHECK(num_fbs > 0, "slot context needs at least one FBS");
+  FEMTOCR_CHECK(available.size() == posterior.size(),
+                "available set and posteriors must align");
+  FEMTOCR_CHECK(graph != nullptr, "slot context needs an interference graph");
+  FEMTOCR_CHECK(graph->size() == num_fbs,
+                "interference graph size must equal num_fbs");
+  for (const auto& u : users) {
+    FEMTOCR_CHECK(u.psnr > 0.0, "user PSNR state must be positive");
+    FEMTOCR_CHECK(u.fbs < num_fbs, "user associated with unknown FBS");
+    FEMTOCR_CHECK(u.success_mbs >= 0.0 && u.success_mbs <= 1.0,
+                  "MBS success probability out of range");
+    FEMTOCR_CHECK(u.success_fbs >= 0.0 && u.success_fbs <= 1.0,
+                  "FBS success probability out of range");
+    FEMTOCR_CHECK(u.rate_mbs >= 0.0 && u.rate_fbs >= 0.0,
+                  "rate constants must be nonnegative");
+  }
+  for (double p : posterior) {
+    FEMTOCR_CHECK(p >= 0.0 && p <= 1.0, "posterior out of range");
+  }
+}
+
+SlotAllocation SlotAllocation::zeros(const SlotContext& ctx) {
+  SlotAllocation a;
+  a.use_mbs.assign(ctx.users.size(), false);
+  a.rho_mbs.assign(ctx.users.size(), 0.0);
+  a.rho_fbs.assign(ctx.users.size(), 0.0);
+  a.channels.assign(ctx.num_fbs, {});
+  a.expected_channels.assign(ctx.num_fbs, 0.0);
+  return a;
+}
+
+bool SlotAllocation::feasible(const SlotContext& ctx, double tol) const {
+  const std::size_t K = ctx.users.size();
+  if (use_mbs.size() != K || rho_mbs.size() != K || rho_fbs.size() != K) {
+    return false;
+  }
+  if (channels.size() != ctx.num_fbs ||
+      expected_channels.size() != ctx.num_fbs) {
+    return false;
+  }
+
+  // rho >= 0, exclusive BS use, per-resource slot budgets.
+  double sum_mbs = 0.0;
+  std::vector<double> sum_fbs(ctx.num_fbs, 0.0);
+  for (std::size_t j = 0; j < K; ++j) {
+    if (rho_mbs[j] < -tol || rho_fbs[j] < -tol) return false;
+    if (use_mbs[j] && rho_fbs[j] > tol) return false;
+    if (!use_mbs[j] && rho_mbs[j] > tol) return false;
+    sum_mbs += rho_mbs[j];
+    sum_fbs[ctx.users[j].fbs] += rho_fbs[j];
+  }
+  if (sum_mbs > 1.0 + tol) return false;
+  for (double s : sum_fbs) {
+    if (s > 1.0 + tol) return false;
+  }
+
+  // Interference: adjacent FBSs must not share a channel (Lemma 4).
+  for (std::size_t a = 0; a < ctx.num_fbs; ++a) {
+    for (std::size_t b : ctx.graph->neighbors(a)) {
+      if (b <= a) continue;
+      for (std::size_t m : channels[a]) {
+        for (std::size_t m2 : channels[b]) {
+          if (m == m2) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace femtocr::core

@@ -1,0 +1,217 @@
+#include "core/waterfill.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/objective.h"
+#include "core/subproblem.h"
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace femtocr::core {
+
+double waterfill_resource(const SlotContext& ctx,
+                          const std::vector<std::size_t>& users,
+                          const std::vector<double>& rates,
+                          const std::vector<double>& successes,
+                          std::vector<double>& rho_out) {
+  FEMTOCR_CHECK(users.size() == rates.size() && users.size() == successes.size(),
+                "user, rate and success lists must align");
+  rho_out.assign(users.size(), 0.0);
+  if (users.empty()) return 0.0;
+
+  auto shares_at = [&](double lambda) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < users.size(); ++k) {
+      const UserState& u = ctx.users[users[k]];
+      rho_out[k] = best_share(successes[k], u.psnr, rates[k], lambda);
+      sum += rho_out[k];
+    }
+    return sum;
+  };
+
+  // Price upper bound: above max_j S_j R_j / W_j every share is zero.
+  double hi = 0.0;
+  for (std::size_t k = 0; k < users.size(); ++k) {
+    const UserState& u = ctx.users[users[k]];
+    if (rates[k] > 0.0) {
+      hi = std::max(hi, successes[k] * rates[k] / u.psnr);
+    }
+  }
+  if (hi <= 0.0) {  // nobody can use this resource
+    shares_at(1.0);
+    return 0.0;
+  }
+
+  constexpr double kLo = 1e-12;
+  if (shares_at(kLo) <= 1.0) {
+    // Budget slack even at (almost) zero price: caps bind, lambda* = 0.
+    return 0.0;
+  }
+  double lo = kLo;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (shares_at(mid) > 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  shares_at(hi);  // final shares at the feasible side of the bracket
+  return hi;
+}
+
+namespace {
+
+/// Water-fills every resource for a fixed assignment and returns the
+/// completed allocation (objective included).
+SlotAllocation evaluate_assignment(const SlotContext& ctx,
+                                   const std::vector<double>& gt_per_fbs,
+                                   const std::vector<bool>& use_mbs,
+                                   std::vector<double>* lambda_out) {
+  SlotAllocation alloc = SlotAllocation::zeros(ctx);
+  alloc.use_mbs = use_mbs;
+  alloc.expected_channels = gt_per_fbs;
+  if (lambda_out != nullptr) lambda_out->assign(ctx.num_fbs + 1, 0.0);
+
+  // MBS resource.
+  std::vector<std::size_t> mbs_users;
+  std::vector<double> mbs_rates;
+  std::vector<double> mbs_successes;
+  for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+    if (use_mbs[j]) {
+      mbs_users.push_back(j);
+      mbs_rates.push_back(ctx.users[j].rate_mbs);
+      mbs_successes.push_back(ctx.users[j].success_mbs);
+    }
+  }
+  std::vector<double> rho;
+  const double lambda0 =
+      waterfill_resource(ctx, mbs_users, mbs_rates, mbs_successes, rho);
+  for (std::size_t k = 0; k < mbs_users.size(); ++k) {
+    alloc.rho_mbs[mbs_users[k]] = rho[k];
+  }
+  if (lambda_out != nullptr) (*lambda_out)[0] = lambda0;
+
+  // One resource per FBS.
+  for (std::size_t i = 0; i < ctx.num_fbs; ++i) {
+    std::vector<std::size_t> fbs_users;
+    std::vector<double> fbs_rates;
+    std::vector<double> fbs_successes;
+    for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+      if (!use_mbs[j] && ctx.users[j].fbs == i) {
+        fbs_users.push_back(j);
+        fbs_rates.push_back(ctx.users[j].rate_fbs * gt_per_fbs[i]);
+        fbs_successes.push_back(ctx.users[j].success_fbs);
+      }
+    }
+    const double li =
+        waterfill_resource(ctx, fbs_users, fbs_rates, fbs_successes, rho);
+    for (std::size_t k = 0; k < fbs_users.size(); ++k) {
+      alloc.rho_fbs[fbs_users[k]] = rho[k];
+    }
+    if (lambda_out != nullptr) (*lambda_out)[i + 1] = li;
+  }
+
+  alloc.objective = slot_objective(ctx, alloc);
+  alloc.upper_bound = alloc.objective;
+  return alloc;
+}
+
+}  // namespace
+
+SlotAllocation waterfill_evaluate(const SlotContext& ctx,
+                                  const std::vector<double>& gt_per_fbs,
+                                  const std::vector<bool>& use_mbs) {
+  ctx.validate();
+  FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
+                "need one expected channel count per FBS");
+  FEMTOCR_CHECK(use_mbs.size() == ctx.users.size(),
+                "need one assignment flag per user");
+  return evaluate_assignment(ctx, gt_per_fbs, use_mbs, nullptr);
+}
+
+SlotAllocation waterfill_solve(const SlotContext& ctx,
+                               const std::vector<double>& gt_per_fbs) {
+  ctx.validate();
+  FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
+                "need one expected channel count per FBS");
+
+  const std::size_t K = ctx.users.size();
+  // Initial assignment: whole-slot comparison per user.
+  std::vector<bool> use_mbs(K);
+  for (std::size_t j = 0; j < K; ++j) {
+    const UserState& u = ctx.users[j];
+    const double g = gt_per_fbs[u.fbs];
+    use_mbs[j] = mbs_term(u, 1.0) > fbs_term(u, 1.0, g);
+  }
+
+  // Hill climbing over base-station reassignments, with the inner
+  // water-filling solved exactly for every trial assignment: single-user
+  // flips first, then pair swaps (user j to the MBS while user k moves off
+  // it), which escape the local optima single flips get stuck in when the
+  // slot budgets are tight. Each accepted move strictly increases the
+  // exactly-evaluated objective, so the search terminates; simultaneous
+  // best-response would oscillate between all-on-MBS and all-on-FBS
+  // assignments and miss mixed optima. Agreement with brute-force
+  // assignment enumeration is pinned by tests.
+  SlotAllocation best = evaluate_assignment(ctx, gt_per_fbs, use_mbs, nullptr);
+  constexpr double kMinGain = 1e-12;
+  constexpr std::size_t kMaxSweeps = 64;
+  for (std::size_t sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool improved = false;
+    auto try_move = [&](auto&& apply, auto&& revert) {
+      apply();
+      SlotAllocation cand =
+          evaluate_assignment(ctx, gt_per_fbs, use_mbs, nullptr);
+      if (cand.objective > best.objective + kMinGain) {
+        best = std::move(cand);
+        improved = true;
+        return true;
+      }
+      revert();
+      return false;
+    };
+    for (std::size_t j = 0; j < K; ++j) {
+      try_move([&] { use_mbs[j] = !use_mbs[j]; },
+               [&] { use_mbs[j] = !use_mbs[j]; });
+    }
+    for (std::size_t j = 0; j < K; ++j) {
+      for (std::size_t k = j + 1; k < K; ++k) {
+        if (use_mbs[j] == use_mbs[k]) continue;  // swap changes nothing new
+        try_move(
+            [&] {
+              use_mbs[j] = !use_mbs[j];
+              use_mbs[k] = !use_mbs[k];
+            },
+            [&] {
+              use_mbs[j] = !use_mbs[j];
+              use_mbs[k] = !use_mbs[k];
+            });
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+SlotAllocation waterfill_solve_exhaustive(
+    const SlotContext& ctx, const std::vector<double>& gt_per_fbs) {
+  ctx.validate();
+  const std::size_t K = ctx.users.size();
+  FEMTOCR_CHECK(K <= 16, "exhaustive assignment limited to 16 users");
+  SlotAllocation best;
+  best.objective = -1e300;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << K); ++mask) {
+    std::vector<bool> use_mbs(K);
+    for (std::size_t j = 0; j < K; ++j) {
+      use_mbs[j] = (mask >> j) & 1U;
+    }
+    SlotAllocation cand =
+        evaluate_assignment(ctx, gt_per_fbs, use_mbs, nullptr);
+    if (cand.objective > best.objective) best = std::move(cand);
+  }
+  return best;
+}
+
+}  // namespace femtocr::core

@@ -1,0 +1,93 @@
+#include "net/interference_graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace femtocr::net {
+
+InterferenceGraph::InterferenceGraph(std::size_t num_fbs)
+    : adjacency_(num_fbs) {}
+
+InterferenceGraph InterferenceGraph::from_coverage(
+    const std::vector<FemtoBaseStation>& fbss) {
+  InterferenceGraph g(fbss.size());
+  for (std::size_t a = 0; a < fbss.size(); ++a) {
+    for (std::size_t b = a + 1; b < fbss.size(); ++b) {
+      if (fbss[a].coverage().overlaps(fbss[b].coverage())) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+InterferenceGraph InterferenceGraph::from_edges(
+    std::size_t num_fbs,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  InterferenceGraph g(num_fbs);
+  for (const auto& [a, b] : edges) g.add_edge(a, b);
+  return g;
+}
+
+std::size_t InterferenceGraph::num_edges() const {
+  std::size_t twice = 0;
+  for (const auto& nbrs : adjacency_) twice += nbrs.size();
+  return twice / 2;
+}
+
+void InterferenceGraph::add_edge(std::size_t a, std::size_t b) {
+  FEMTOCR_CHECK(a < size() && b < size(), "vertex index out of range");
+  FEMTOCR_CHECK(a != b, "no self-loops in an interference graph");
+  if (has_edge(a, b)) return;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+bool InterferenceGraph::has_edge(std::size_t a, std::size_t b) const {
+  FEMTOCR_CHECK(a < size() && b < size(), "vertex index out of range");
+  const auto& nbrs = adjacency_[a];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+const std::vector<std::size_t>& InterferenceGraph::neighbors(
+    std::size_t i) const {
+  FEMTOCR_CHECK(i < size(), "vertex index out of range");
+  return adjacency_[i];
+}
+
+std::size_t InterferenceGraph::degree(std::size_t i) const {
+  return neighbors(i).size();
+}
+
+std::size_t InterferenceGraph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& nbrs : adjacency_) d = std::max(d, nbrs.size());
+  return d;
+}
+
+bool InterferenceGraph::is_independent(
+    const std::vector<std::size_t>& set) const {
+  for (std::size_t a = 0; a < set.size(); ++a) {
+    for (std::size_t b = a + 1; b < set.size(); ++b) {
+      if (has_edge(set[a], set[b])) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<std::size_t>> InterferenceGraph::independent_sets()
+    const {
+  FEMTOCR_CHECK(size() <= 20,
+                "independent-set enumeration is limited to 20 vertices");
+  std::vector<std::vector<std::size_t>> result;
+  const std::size_t n = size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<std::size_t> set;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mask & (std::size_t{1} << v)) set.push_back(v);
+    }
+    if (is_independent(set)) result.push_back(std::move(set));
+  }
+  return result;
+}
+
+}  // namespace femtocr::net

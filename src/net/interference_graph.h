@@ -1,0 +1,58 @@
+// Interference graph over FBSs (paper Definition 1, Figs. 2 & 5).
+//
+// Vertices are FBSs; an edge means the two femtocells' coverages overlap, so
+// they may not transmit on the same licensed channel in the same slot
+// (Lemma 4). The greedy allocator consults neighborhoods R(i); Theorem 2's
+// bound uses the maximum degree Dmax; the exact allocator enumerates
+// independent sets per channel.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "net/node.h"
+
+namespace femtocr::net {
+
+class InterferenceGraph {
+ public:
+  /// Edgeless graph on `num_fbs` vertices.
+  explicit InterferenceGraph(std::size_t num_fbs);
+
+  /// Builds the graph from coverage-disk overlaps (Definition 1).
+  static InterferenceGraph from_coverage(
+      const std::vector<FemtoBaseStation>& fbss);
+
+  /// Builds from an explicit edge list (used to encode Figs. 2 and 5).
+  static InterferenceGraph from_edges(
+      std::size_t num_fbs,
+      const std::vector<std::pair<std::size_t, std::size_t>>& edges);
+
+  std::size_t size() const { return adjacency_.size(); }
+  std::size_t num_edges() const;
+
+  void add_edge(std::size_t a, std::size_t b);
+  bool has_edge(std::size_t a, std::size_t b) const;
+
+  /// Neighborhood R(i): FBSs that conflict with i.
+  const std::vector<std::size_t>& neighbors(std::size_t i) const;
+
+  std::size_t degree(std::size_t i) const;
+  /// Dmax in Theorem 2.
+  std::size_t max_degree() const;
+
+  /// True when no two vertices in `set` are adjacent — i.e. they may share
+  /// a licensed channel.
+  bool is_independent(const std::vector<std::size_t>& set) const;
+
+  /// All independent sets of vertices (including the empty set), used by
+  /// the exact allocator on small instances. Exponential — guarded to
+  /// graphs of at most 20 vertices.
+  std::vector<std::vector<std::size_t>> independent_sets() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace femtocr::net

@@ -1,0 +1,3 @@
+#include "net/node.h"
+
+// Entity structs are aggregates; this TU anchors the header in the build.

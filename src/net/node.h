@@ -1,0 +1,38 @@
+// Network entities: macro base station, femto base stations, CR users
+// (paper Section III-A, Fig. 1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "phy/geometry.h"
+
+namespace femtocr::net {
+
+/// The macro base station: one antenna, permanently on the common channel.
+struct MacroBaseStation {
+  phy::Point position;
+};
+
+/// A femto base station: M antennas, senses all licensed channels, serves
+/// the CR users inside its coverage disk over licensed channels.
+struct FemtoBaseStation {
+  std::size_t id = 0;        ///< 0-based FBS index (paper's i = 1..N maps to id+1)
+  phy::Point position;
+  double coverage_radius = 20.0;  ///< meters
+
+  phy::Disk coverage() const { return {position, coverage_radius}; }
+};
+
+/// A CR user (femtocell subscriber) with a single software-radio
+/// transceiver: per slot it connects to either the MBS (common channel) or
+/// its FBS (licensed channels), never both (Theorem 1 makes this exclusive
+/// choice optimal).
+struct CrUser {
+  std::size_t id = 0;            ///< 0-based global user index (paper's j)
+  phy::Point position;
+  std::string video_name;        ///< sequence streamed to this user
+  std::size_t fbs = 0;           ///< id of the associated (nearest) FBS
+};
+
+}  // namespace femtocr::net

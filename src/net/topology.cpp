@@ -1,0 +1,107 @@
+#include "net/topology.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace femtocr::net {
+
+void RadioConfig::validate() const {
+  mbs_pathloss.validate();
+  fbs_pathloss.validate();
+  FEMTOCR_CHECK(sinr_threshold >= 0.0, "SINR threshold must be nonnegative");
+  FEMTOCR_CHECK(mbs_tx_power >= 0.0 && fbs_tx_power >= 0.0,
+                "transmit powers must be nonnegative");
+}
+
+Topology::Topology(MacroBaseStation mbs, std::vector<FemtoBaseStation> fbss,
+                   std::vector<CrUser> users, RadioConfig radio,
+                   std::optional<InterferenceGraph> graph)
+    : mbs_(mbs),
+      fbss_(std::move(fbss)),
+      users_(std::move(users)),
+      radio_(radio),
+      graph_(graph ? std::move(*graph)
+                   : InterferenceGraph::from_coverage(fbss_)) {
+  FEMTOCR_CHECK(!fbss_.empty(), "deployment needs at least one FBS");
+  FEMTOCR_CHECK(!users_.empty(), "deployment needs at least one CR user");
+  FEMTOCR_CHECK(graph_.size() == fbss_.size(),
+                "interference graph must have one vertex per FBS");
+  radio_.validate();
+
+  // Normalize FBS ids to their vector positions.
+  for (std::size_t i = 0; i < fbss_.size(); ++i) fbss_[i].id = i;
+
+  // Nearest-FBS association + per-FBS user lists.
+  users_by_fbs_.assign(fbss_.size(), {});
+  for (std::size_t j = 0; j < users_.size(); ++j) {
+    users_[j].id = j;
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_fbs = 0;
+    for (std::size_t i = 0; i < fbss_.size(); ++i) {
+      const double d = phy::distance(users_[j].position, fbss_[i].position);
+      if (d < best) {
+        best = d;
+        best_fbs = i;
+      }
+    }
+    users_[j].fbs = best_fbs;
+    users_by_fbs_[best_fbs].push_back(j);
+  }
+
+  // Links.
+  mbs_links_.reserve(users_.size());
+  fbs_links_.reserve(users_.size());
+  for (const auto& u : users_) {
+    mbs_links_.emplace_back(mbs_.position, u.position, radio_.mbs_pathloss,
+                            radio_.sinr_threshold);
+    fbs_links_.emplace_back(fbss_[u.fbs].position, u.position,
+                            radio_.fbs_pathloss, radio_.sinr_threshold);
+  }
+}
+
+const FemtoBaseStation& Topology::fbs(std::size_t i) const {
+  FEMTOCR_CHECK(i < fbss_.size(), "FBS index out of range");
+  return fbss_[i];
+}
+
+const CrUser& Topology::user(std::size_t j) const {
+  FEMTOCR_CHECK(j < users_.size(), "user index out of range");
+  return users_[j];
+}
+
+const std::vector<std::size_t>& Topology::users_of(std::size_t fbs) const {
+  FEMTOCR_CHECK(fbs < users_by_fbs_.size(), "FBS index out of range");
+  return users_by_fbs_[fbs];
+}
+
+const phy::Link& Topology::mbs_link(std::size_t j) const {
+  FEMTOCR_CHECK(j < mbs_links_.size(), "user index out of range");
+  return mbs_links_[j];
+}
+
+const phy::Link& Topology::fbs_link(std::size_t j) const {
+  FEMTOCR_CHECK(j < fbs_links_.size(), "user index out of range");
+  return fbs_links_[j];
+}
+
+std::vector<CrUser> Topology::scatter_users(
+    const std::vector<FemtoBaseStation>& fbss, std::size_t per_fbs,
+    const std::vector<std::string>& videos, util::Rng& rng) {
+  FEMTOCR_CHECK(!videos.empty(), "need at least one video name");
+  std::vector<CrUser> users;
+  users.reserve(fbss.size() * per_fbs);
+  std::size_t v = 0;
+  for (const auto& f : fbss) {
+    for (std::size_t k = 0; k < per_fbs; ++k) {
+      CrUser u;
+      u.position = phy::random_in_disk(f.coverage(), rng);
+      u.video_name = videos[v % videos.size()];
+      ++v;
+      users.push_back(std::move(u));
+    }
+  }
+  return users;
+}
+
+}  // namespace femtocr::net

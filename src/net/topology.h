@@ -1,0 +1,89 @@
+// Concrete network deployment: MBS + FBSs + CR users, their association and
+// wireless links (paper Section III-A and Fig. 1).
+//
+// Association rule: each user attaches to the *nearest* FBS (the paper
+// assumes each CR user knows and associates with its closest FBS). Every
+// user additionally always has a link to the MBS over the common channel.
+// The interference graph is derived from coverage-disk overlaps unless an
+// explicit one is supplied (the paper's Figs. 2 and 5 give graphs directly).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "net/interference_graph.h"
+#include "net/node.h"
+#include "phy/link.h"
+#include "phy/pathloss.h"
+#include "util/rng.h"
+
+namespace femtocr::net {
+
+/// Radio parameters shared by all links of a deployment.
+///
+/// Default link budgets are calibrated for deployments with femtocells a
+/// few tens of meters from the MBS: a macro link at ~80 m has a mean SINR
+/// around 16 (P^F ~ 0.27 at H = 5) while a femto link inside a ~12 m cell
+/// stays above 30 (P^F < 0.15) — both base stations are useful, neither
+/// dominates, which is the regime the paper's trade-off lives in.
+struct RadioConfig {
+  phy::PathLossModel mbs_pathloss{1.0, 5.0e7, 3.2};  ///< macro tier
+  phy::PathLossModel fbs_pathloss{1.0, 1.0e5, 3.0};  ///< femto tier
+  double sinr_threshold = 5.0;                       ///< H in Eq. (8)
+
+  /// Downlink transmit powers for the energy accounting (watts). The
+  /// order-of-magnitude gap is the femtocell value proposition the paper's
+  /// introduction cites: short links need far less power per delivered bit.
+  double mbs_tx_power = 2.0;   ///< macro, per occupied slot fraction
+  double fbs_tx_power = 0.2;   ///< femto, per occupied channel-slot fraction
+
+  void validate() const;
+};
+
+class Topology {
+ public:
+  /// Builds a deployment. `users` must already carry positions and video
+  /// names; association (user.fbs) is recomputed here from geometry. If
+  /// `graph` is provided it overrides coverage-derived interference.
+  Topology(MacroBaseStation mbs, std::vector<FemtoBaseStation> fbss,
+           std::vector<CrUser> users, RadioConfig radio,
+           std::optional<InterferenceGraph> graph = std::nullopt);
+
+  std::size_t num_fbs() const { return fbss_.size(); }
+  std::size_t num_users() const { return users_.size(); }
+
+  const MacroBaseStation& mbs() const { return mbs_; }
+  const FemtoBaseStation& fbs(std::size_t i) const;
+  const CrUser& user(std::size_t j) const;
+  const std::vector<CrUser>& users() const { return users_; }
+  const InterferenceGraph& graph() const { return graph_; }
+  const RadioConfig& radio() const { return radio_; }
+
+  /// U_i: indices of the users associated with FBS i.
+  const std::vector<std::size_t>& users_of(std::size_t fbs) const;
+
+  /// Link user j <- MBS (common channel).
+  const phy::Link& mbs_link(std::size_t j) const;
+  /// Link user j <- its associated FBS (licensed channels).
+  const phy::Link& fbs_link(std::size_t j) const;
+
+  /// Convenience: scatter `per_fbs` users uniformly inside each FBS's
+  /// coverage disk, cycling video names from the standard catalogue order
+  /// given in `videos`.
+  static std::vector<CrUser> scatter_users(
+      const std::vector<FemtoBaseStation>& fbss, std::size_t per_fbs,
+      const std::vector<std::string>& videos, util::Rng& rng);
+
+ private:
+  MacroBaseStation mbs_;
+  std::vector<FemtoBaseStation> fbss_;
+  std::vector<CrUser> users_;
+  RadioConfig radio_;
+  InterferenceGraph graph_;
+  std::vector<std::vector<std::size_t>> users_by_fbs_;
+  std::vector<phy::Link> mbs_links_;
+  std::vector<phy::Link> fbs_links_;
+};
+
+}  // namespace femtocr::net

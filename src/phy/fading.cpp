@@ -1,0 +1,32 @@
+#include "phy/fading.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace femtocr::phy {
+
+void RayleighBlockFading::validate() const {
+  FEMTOCR_CHECK(mean_snr > 0.0, "mean SINR must be positive");
+  FEMTOCR_CHECK(threshold >= 0.0, "decoding threshold must be nonnegative");
+}
+
+double RayleighBlockFading::loss_probability() const {
+  return exponential_outage(mean_snr, threshold);
+}
+
+double RayleighBlockFading::draw_sinr(util::Rng& rng) const {
+  return rng.exponential(mean_snr);
+}
+
+bool RayleighBlockFading::draw_success(util::Rng& rng) const {
+  return draw_sinr(rng) > threshold;
+}
+
+double exponential_outage(double mean_snr, double threshold) {
+  FEMTOCR_CHECK(mean_snr > 0.0, "mean SINR must be positive");
+  FEMTOCR_CHECK(threshold >= 0.0, "threshold must be nonnegative");
+  return 1.0 - std::exp(-threshold / mean_snr);
+}
+
+}  // namespace femtocr::phy

@@ -1,0 +1,42 @@
+// Independent block fading and SINR-threshold decoding
+// (paper Section III-D, Eq. 8).
+//
+// The channel gain is piecewise constant over one slot and independent
+// across slots. Under Rayleigh fading the received SINR X is exponential
+// with the path-loss mean; a packet decodes iff X > H, so the per-slot loss
+// probability is the CDF at the threshold:
+//     P^F = Pr{X <= H} = 1 - exp(-H / mean_snr).
+// The struct also exposes draws of the per-slot SINR realization, which the
+// heuristics use for "channel condition" comparisons and the realized-
+// accounting simulator uses to decide slot success.
+#pragma once
+
+#include "util/rng.h"
+
+namespace femtocr::phy {
+
+/// Rayleigh block-fading channel with an SINR decoding threshold.
+struct RayleighBlockFading {
+  double mean_snr = 100.0;  ///< linear mean SINR (path loss folded in)
+  double threshold = 5.0;   ///< H: minimum SINR for successful decoding
+
+  void validate() const;
+
+  /// Per-slot packet loss probability P^F — Eq. (8) for the exponential CDF.
+  double loss_probability() const;
+
+  /// Success probability 1 - P^F (the overline-P^F in the paper).
+  double success_probability() const { return 1.0 - loss_probability(); }
+
+  /// Draws the block-fading SINR realization for one slot.
+  double draw_sinr(util::Rng& rng) const;
+
+  /// Draws whether this slot's transmissions decode (SINR > threshold).
+  bool draw_success(util::Rng& rng) const;
+};
+
+/// Generic CDF-threshold loss probability for an exponential SINR with the
+/// given mean — exposed for direct use in tests and analytical checks.
+double exponential_outage(double mean_snr, double threshold);
+
+}  // namespace femtocr::phy

@@ -1,0 +1,50 @@
+#include "phy/geometry.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace femtocr::phy {
+
+double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+bool Disk::contains(const Point& p) const {
+  return distance(center, p) <= radius;
+}
+
+bool Disk::overlaps(const Disk& other) const {
+  return distance(center, other.center) <= radius + other.radius;
+}
+
+Point random_in_disk(const Disk& d, util::Rng& rng) {
+  FEMTOCR_CHECK(d.radius >= 0.0, "disk radius must be nonnegative");
+  // Inverse-CDF sampling: radius ~ R*sqrt(U) gives an area-uniform point.
+  const double r = d.radius * std::sqrt(rng.uniform());
+  const double phi = rng.uniform(0.0, 2.0 * M_PI);
+  return {d.center.x + r * std::cos(phi), d.center.y + r * std::sin(phi)};
+}
+
+std::vector<Point> line_layout(Point origin, double spacing,
+                               std::size_t count) {
+  std::vector<Point> pts;
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pts.push_back({origin.x + spacing * static_cast<double>(i), origin.y});
+  }
+  return pts;
+}
+
+std::vector<Point> random_layout(double side, std::size_t count,
+                                 util::Rng& rng) {
+  FEMTOCR_CHECK(side > 0.0, "square side must be positive");
+  std::vector<Point> pts;
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  return pts;
+}
+
+}  // namespace femtocr::phy

@@ -1,0 +1,45 @@
+// 2-D geometry for node placement and coverage (paper Fig. 1).
+//
+// The paper's interference graph (Def. 1) derives from overlapping FBS
+// coverage disks; this module provides the points, distances and disk
+// predicates needed to construct topologies both deterministically (the
+// exact Figs. 2 and 5 graphs) and randomly (ablation studies).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace femtocr::phy {
+
+/// A point in the plane, meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Point& a, const Point& b);
+
+/// A circular coverage area.
+struct Disk {
+  Point center;
+  double radius = 0.0;
+
+  bool contains(const Point& p) const;
+  /// True when the two coverage disks overlap (interiors intersect or touch).
+  bool overlaps(const Disk& other) const;
+};
+
+/// Uniform random point inside a disk (area-uniform).
+Point random_in_disk(const Disk& d, util::Rng& rng);
+
+/// Places `count` FBS centers on a line with the given spacing, starting at
+/// `origin` — handy for constructing path interference graphs like Fig. 5.
+std::vector<Point> line_layout(Point origin, double spacing, std::size_t count);
+
+/// Places `count` points uniformly in an axis-aligned square [0,side]^2.
+std::vector<Point> random_layout(double side, std::size_t count,
+                                 util::Rng& rng);
+
+}  // namespace femtocr::phy

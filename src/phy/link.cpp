@@ -1,0 +1,14 @@
+#include "phy/link.h"
+
+namespace femtocr::phy {
+
+Link::Link(Point bs, Point user, const PathLossModel& pathloss,
+           double threshold)
+    : distance_(phy::distance(bs, user)) {
+  pathloss.validate();
+  fading_.mean_snr = pathloss.mean_snr(distance_);
+  fading_.threshold = threshold;
+  fading_.validate();
+}
+
+}  // namespace femtocr::phy

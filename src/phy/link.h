@@ -1,0 +1,38 @@
+// A base-station -> CR-user wireless link (paper Sections III-D/E glue).
+//
+// Combines geometry, path loss and block fading into the quantity the
+// optimizer consumes: the per-slot packet loss probability P^F_{i,j} from
+// base station i to user j, plus per-slot SINR realizations for heuristics
+// and realized accounting.
+#pragma once
+
+#include "phy/fading.h"
+#include "phy/geometry.h"
+#include "phy/pathloss.h"
+#include "util/rng.h"
+
+namespace femtocr::phy {
+
+/// Immutable description of one BS->user link.
+class Link {
+ public:
+  Link(Point bs, Point user, const PathLossModel& pathloss, double threshold);
+
+  double distance() const { return distance_; }
+  double mean_snr() const { return fading_.mean_snr; }
+
+  /// P^F_{i,j}: per-slot loss probability (Eq. 8).
+  double loss_probability() const { return fading_.loss_probability(); }
+  /// 1 - P^F_{i,j}.
+  double success_probability() const { return fading_.success_probability(); }
+
+  /// Block-fading realizations for one slot.
+  double draw_sinr(util::Rng& rng) const { return fading_.draw_sinr(rng); }
+  bool draw_success(util::Rng& rng) const { return fading_.draw_success(rng); }
+
+ private:
+  double distance_;
+  RayleighBlockFading fading_;
+};
+
+}  // namespace femtocr::phy

@@ -1,0 +1,24 @@
+#include "phy/pathloss.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace femtocr::phy {
+
+void PathLossModel::validate() const {
+  FEMTOCR_CHECK(reference_distance > 0.0, "d0 must be positive");
+  FEMTOCR_CHECK(reference_snr > 0.0, "reference SNR must be positive");
+  FEMTOCR_CHECK(exponent > 0.0, "path-loss exponent must be positive");
+}
+
+double PathLossModel::mean_snr(double d) const {
+  const double dd = d < reference_distance ? reference_distance : d;
+  return reference_snr * std::pow(reference_distance / dd, exponent);
+}
+
+double PathLossModel::mean_snr_db(double d) const {
+  return 10.0 * std::log10(mean_snr(d));
+}
+
+}  // namespace femtocr::phy

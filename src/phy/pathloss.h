@@ -1,0 +1,25 @@
+// Log-distance path loss (Rappaport, the paper's reference [19]).
+//
+// Mean received power at distance d:  P_rx = P_tx * (d0/d)^n * c, expressed
+// here as a mean SNR so the fading layer can scale it. Distances below the
+// reference distance d0 are clamped to d0 (near-field guard).
+#pragma once
+
+namespace femtocr::phy {
+
+/// Parameters of a log-distance path-loss law mapped directly to mean SNR.
+struct PathLossModel {
+  double reference_distance = 1.0;   ///< d0 in meters
+  double reference_snr = 1000.0;     ///< mean linear SNR at d0 (30 dB default)
+  double exponent = 3.0;             ///< path-loss exponent n (indoor ~3)
+
+  void validate() const;
+
+  /// Mean linear SNR at distance d (meters).
+  double mean_snr(double d) const;
+
+  /// Same in dB (10 log10).
+  double mean_snr_db(double d) const;
+};
+
+}  // namespace femtocr::phy

@@ -1,0 +1,226 @@
+#include "sim/config_io.h"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "net/topology.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace femtocr::sim {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+double to_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    FEMTOCR_CHECK(pos == value.size(), "trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw std::logic_error("config key '" + key + "' expects a number, got '" +
+                           value + "'");
+  }
+}
+
+std::size_t to_size(const std::string& key, const std::string& value) {
+  const double v = to_double(key, value);
+  FEMTOCR_CHECK(v >= 0.0 && v == static_cast<double>(static_cast<std::size_t>(v)),
+                "config key '" + key + "' expects a nonnegative integer");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+Scenario load_scenario(std::istream& in) {
+  std::map<std::string, std::string> kv;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    FEMTOCR_CHECK(eq != std::string::npos,
+                  "config line " + std::to_string(line_no) +
+                      " is not 'key = value': " + line);
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    FEMTOCR_CHECK(!key.empty() && !value.empty(),
+                  "config line " + std::to_string(line_no) +
+                      " has an empty key or value");
+    FEMTOCR_CHECK(!kv.count(key), "duplicate config key: " + key);
+    kv[key] = value;
+  }
+
+  auto take = [&](const char* key) {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return std::string();
+    std::string v = it->second;
+    kv.erase(it);
+    return v;
+  };
+
+  // Base geometry first — other keys override it.
+  const std::string base = [&] {
+    std::string b = take("base");
+    return b.empty() ? std::string("single") : b;
+  }();
+  std::uint64_t seed = 1;
+  if (const std::string s = take("seed"); !s.empty()) {
+    seed = static_cast<std::uint64_t>(to_size("seed", s));
+  }
+  Scenario scenario;
+  if (base == "single") {
+    scenario = single_fbs_scenario(seed);
+  } else if (base == "interfering") {
+    scenario = interfering_scenario(seed);
+  } else {
+    throw std::logic_error("config 'base' must be 'single' or 'interfering', got '" +
+                           base + "'");
+  }
+
+  if (const auto v = take("channels"); !v.empty()) {
+    scenario.spectrum.num_licensed = to_size("channels", v);
+  }
+  if (const auto v = take("utilization"); !v.empty()) {
+    scenario.set_utilization(to_double("utilization", v));
+  }
+  if (const auto v = take("gamma"); !v.empty()) {
+    scenario.spectrum.gamma = to_double("gamma", v);
+  }
+  // Sensing errors: apply jointly so partially-specified configs keep the
+  // base value for the other probability.
+  {
+    double eps = scenario.spectrum.user_sensor.false_alarm;
+    double delta = scenario.spectrum.user_sensor.miss_detection;
+    if (const auto v = take("false_alarm"); !v.empty()) {
+      eps = to_double("false_alarm", v);
+    }
+    if (const auto v = take("miss_detection"); !v.empty()) {
+      delta = to_double("miss_detection", v);
+    }
+    scenario.set_sensing_errors(eps, delta);
+  }
+  if (const auto v = take("common_bandwidth"); !v.empty()) {
+    scenario.common_bandwidth = to_double("common_bandwidth", v);
+  }
+  if (const auto v = take("licensed_bandwidth"); !v.empty()) {
+    scenario.licensed_bandwidth = to_double("licensed_bandwidth", v);
+  }
+  if (const auto v = take("gop_deadline"); !v.empty()) {
+    scenario.gop_deadline = to_size("gop_deadline", v);
+  }
+  if (const auto v = take("num_gops"); !v.empty()) {
+    scenario.num_gops = to_size("num_gops", v);
+  }
+  if (const auto v = take("gop_seconds"); !v.empty()) {
+    scenario.gop_seconds = to_double("gop_seconds", v);
+  }
+  if (const auto v = take("packet_bits"); !v.empty()) {
+    scenario.packet_bits = to_size("packet_bits", v);
+  }
+  if (const auto v = take("users_per_fbs"); !v.empty()) {
+    const std::size_t per_fbs = to_size("users_per_fbs", v);
+    FEMTOCR_CHECK(per_fbs > 0, "users_per_fbs must be positive");
+    std::vector<std::string> videos;
+    for (const auto& u : scenario.users) videos.push_back(u.video_name);
+    util::Rng rng(seed ^ 0x515F00D);
+    scenario.users =
+        net::Topology::scatter_users(scenario.fbss, per_fbs, videos, rng);
+  }
+  if (const auto v = take("mobility_stddev"); !v.empty()) {
+    scenario.mobility.step_stddev = to_double("mobility_stddev", v);
+    FEMTOCR_CHECK(scenario.mobility.step_stddev >= 0.0,
+                  "mobility_stddev must be nonnegative");
+  }
+  if (const auto v = take("sensing_assignment"); !v.empty()) {
+    if (v == "round_robin") {
+      scenario.spectrum.assignment = spectrum::SensingAssignment::kRoundRobin;
+    } else if (v == "uncertainty_first") {
+      scenario.spectrum.assignment =
+          spectrum::SensingAssignment::kUncertaintyFirst;
+    } else {
+      throw std::logic_error(
+          "config 'sensing_assignment' must be 'round_robin' or "
+          "'uncertainty_first'");
+    }
+  }
+  if (const auto v = take("accounting"); !v.empty()) {
+    if (v == "expected") {
+      scenario.accounting = Accounting::kExpected;
+    } else if (v == "realized") {
+      scenario.accounting = Accounting::kRealized;
+    } else {
+      throw std::logic_error(
+          "config 'accounting' must be 'expected' or 'realized'");
+    }
+  }
+  if (const auto v = take("delivery"); !v.empty()) {
+    if (v == "fluid") {
+      scenario.delivery = DeliveryModel::kFluid;
+    } else if (v == "packet") {
+      scenario.delivery = DeliveryModel::kPacket;
+    } else {
+      throw std::logic_error("config 'delivery' must be 'fluid' or 'packet'");
+    }
+  }
+
+  if (!kv.empty()) {
+    throw std::logic_error("unknown config key: " + kv.begin()->first);
+  }
+  scenario.finalize();
+  return scenario;
+}
+
+Scenario load_scenario_string(const std::string& text) {
+  std::istringstream in(text);
+  return load_scenario(in);
+}
+
+void save_scenario(std::ostream& out, const Scenario& scenario,
+                   const std::string& base_name, std::size_t users_per_fbs) {
+  out << "# femtocr scenario configuration\n"
+      << "base = " << base_name << '\n'
+      << "seed = " << scenario.seed << '\n'
+      << "channels = " << scenario.spectrum.num_licensed << '\n'
+      << "utilization = " << scenario.spectrum.occupancy.utilization() << '\n'
+      << "gamma = " << scenario.spectrum.gamma << '\n'
+      << "false_alarm = " << scenario.spectrum.user_sensor.false_alarm << '\n'
+      << "miss_detection = " << scenario.spectrum.user_sensor.miss_detection
+      << '\n'
+      << "common_bandwidth = " << scenario.common_bandwidth << '\n'
+      << "licensed_bandwidth = " << scenario.licensed_bandwidth << '\n'
+      << "gop_deadline = " << scenario.gop_deadline << '\n'
+      << "num_gops = " << scenario.num_gops << '\n'
+      << "gop_seconds = " << scenario.gop_seconds << '\n'
+      << "packet_bits = " << scenario.packet_bits << '\n'
+      << "users_per_fbs = " << users_per_fbs << '\n'
+      << "mobility_stddev = " << scenario.mobility.step_stddev << '\n'
+      << "sensing_assignment = "
+      << (scenario.spectrum.assignment ==
+                  spectrum::SensingAssignment::kRoundRobin
+              ? "round_robin"
+              : "uncertainty_first")
+      << '\n'
+      << "accounting = "
+      << (scenario.accounting == Accounting::kExpected ? "expected"
+                                                       : "realized")
+      << '\n'
+      << "delivery = "
+      << (scenario.delivery == DeliveryModel::kFluid ? "fluid" : "packet")
+      << '\n';
+}
+
+}  // namespace femtocr::sim

@@ -1,0 +1,45 @@
+// Plain-text scenario configuration (key = value format).
+//
+// Lets the CLI and scripts describe experiments without recompiling:
+//
+//     # campus.cfg
+//     base = interfering        # or "single"
+//     seed = 7
+//     channels = 8
+//     utilization = 0.4
+//     gamma = 0.2
+//     false_alarm = 0.3
+//     miss_detection = 0.3
+//     common_bandwidth = 0.3
+//     licensed_bandwidth = 0.3
+//     gop_deadline = 10
+//     num_gops = 20
+//     users_per_fbs = 3
+//     accounting = expected     # or "realized"
+//     delivery = fluid          # or "packet"
+//
+// Lines are `key = value`; '#' starts a comment; unknown keys are an
+// error (typo safety). The `base` scenario supplies geometry and videos;
+// every other key overrides that base.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/scenario.h"
+
+namespace femtocr::sim {
+
+/// Parses a configuration from a stream. Throws std::logic_error with the
+/// offending line on malformed input or unknown keys.
+Scenario load_scenario(std::istream& in);
+
+/// Convenience: parse from a string (used by tests and inline configs).
+Scenario load_scenario_string(const std::string& text);
+
+/// Writes a configuration that load_scenario() parses back into an
+/// equivalent scenario (base geometry is referenced by name, not dumped).
+void save_scenario(std::ostream& out, const Scenario& scenario,
+                   const std::string& base_name, std::size_t users_per_fbs);
+
+}  // namespace femtocr::sim

@@ -1,0 +1,35 @@
+#include "sim/experiment.h"
+
+namespace femtocr::sim {
+
+SchemeSummary run_experiment(const Scenario& scenario, core::SchemeKind kind,
+                             std::size_t runs) {
+  SchemeSummary summary;
+  summary.kind = kind;
+  summary.runs = runs;
+  summary.per_user.resize(scenario.users.size());
+  for (std::size_t r = 0; r < runs; ++r) {
+    Simulator sim(scenario, kind, r);
+    const RunResult res = sim.run();
+    summary.mean_psnr.add(res.mean_psnr);
+    summary.bound_psnr.add(res.mean_bound_psnr);
+    for (std::size_t j = 0; j < res.user_mean_psnr.size(); ++j) {
+      summary.per_user[j].add(res.user_mean_psnr[j]);
+    }
+    summary.collision_rate.add(res.collision_rate);
+    summary.avg_available.add(res.avg_available);
+    summary.avg_expected_channels.add(res.avg_expected_channels);
+  }
+  return summary;
+}
+
+std::vector<SchemeSummary> run_all_schemes(const Scenario& scenario,
+                                           std::size_t runs) {
+  return {
+      run_experiment(scenario, core::SchemeKind::kProposed, runs),
+      run_experiment(scenario, core::SchemeKind::kHeuristic1, runs),
+      run_experiment(scenario, core::SchemeKind::kHeuristic2, runs),
+  };
+}
+
+}  // namespace femtocr::sim

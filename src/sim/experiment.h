@@ -1,0 +1,40 @@
+// Multi-run experiments: the paper reports every point as the mean of 10
+// independent simulation runs with 95% confidence intervals. Experiment
+// repeats a scenario across run indices (fresh channel/sensing/fading
+// randomness, same deployment) and aggregates per-user and average PSNRs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/scheme.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace femtocr::sim {
+
+/// Aggregated results of one (scenario, scheme) cell.
+struct SchemeSummary {
+  core::SchemeKind kind{};
+  std::size_t runs = 0;
+  util::RunningStat mean_psnr;             ///< across runs, user-averaged
+  util::RunningStat bound_psnr;            ///< Eq.-(23) bound trajectory
+  std::vector<util::RunningStat> per_user; ///< per-user delivered PSNR
+  util::RunningStat collision_rate;
+  util::RunningStat avg_available;
+  util::RunningStat avg_expected_channels;
+};
+
+/// Runs `runs` independent simulations of `scenario` under `kind`.
+SchemeSummary run_experiment(const Scenario& scenario, core::SchemeKind kind,
+                             std::size_t runs = 10);
+
+/// Runs all three schemes on the same scenario (each scheme sees identical
+/// run seeds, so spectrum and fading realizations are paired across
+/// schemes — variance reduction the paper's common-random-numbers setup
+/// implies).
+std::vector<SchemeSummary> run_all_schemes(const Scenario& scenario,
+                                           std::size_t runs = 10);
+
+}  // namespace femtocr::sim

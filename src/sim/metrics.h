@@ -1,0 +1,38 @@
+// Cross-user quality metrics for reporting (header-only).
+//
+// The paper argues the proposed scheme is "well balanced among the three
+// users"; Jain's fairness index quantifies that claim in the benches:
+// J = (sum x)^2 / (n * sum x^2), 1 for perfect equality, 1/n for a single
+// non-zero user. Applied to delivered PSNR above the base layer so a user
+// stuck at alpha counts as receiving nothing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace femtocr::sim {
+
+/// Jain's fairness index of a nonnegative vector; 1.0 for empty/all-zero
+/// input (vacuously fair).
+inline double jain_index(const std::vector<double>& xs) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+/// Range (max - min) of a vector; 0 for empty input.
+inline double spread(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double lo = xs.front(), hi = xs.front();
+  for (double x : xs) {
+    lo = x < lo ? x : lo;
+    hi = x > hi ? x : hi;
+  }
+  return hi - lo;
+}
+
+}  // namespace femtocr::sim

@@ -1,0 +1,151 @@
+#include "sim/scenario.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "video/mgs_model.h"
+
+namespace femtocr::sim {
+
+void Scenario::finalize() {
+  FEMTOCR_CHECK(!fbss.empty(), "scenario needs at least one FBS");
+  FEMTOCR_CHECK(!users.empty(), "scenario needs at least one user");
+  FEMTOCR_CHECK(common_bandwidth > 0.0 && licensed_bandwidth > 0.0,
+                "bandwidths must be positive");
+  FEMTOCR_CHECK(gop_deadline > 0 && num_gops > 0,
+                "need at least one slot to simulate");
+  spectrum.num_users = users.size();
+  spectrum.num_fbs = fbss.size();
+  spectrum.validate();
+  radio.validate();
+  for (const auto& u : users) {
+    video::sequence(u.video_name);  // throws on unknown sequences
+  }
+}
+
+void Scenario::set_utilization(double eta) {
+  const double mixing = spectrum.occupancy.p01 + spectrum.occupancy.p10;
+  spectrum.occupancy = spectrum::MarkovParams::from_utilization(eta, mixing);
+  spectrum.per_channel.clear();  // homogeneous again: drop any ramp override
+}
+
+void Scenario::set_utilization_ramp(double eta_lo, double eta_hi) {
+  const double mixing = spectrum.occupancy.p01 + spectrum.occupancy.p10;
+  spectrum.per_channel.clear();
+  const std::size_t m = spectrum.num_licensed;
+  FEMTOCR_CHECK(m > 0, "need licensed channels before setting a ramp");
+  for (std::size_t i = 0; i < m; ++i) {
+    const double f =
+        m == 1 ? 0.5 : static_cast<double>(i) / static_cast<double>(m - 1);
+    spectrum.per_channel.push_back(spectrum::MarkovParams::from_utilization(
+        eta_lo + f * (eta_hi - eta_lo), mixing));
+  }
+}
+
+void Scenario::set_sensing_errors(double false_alarm, double miss_detection) {
+  spectrum.user_sensor = {false_alarm, miss_detection};
+  spectrum.fbs_sensor = {false_alarm, miss_detection};
+  spectrum.user_sensor.validate();
+  spectrum.fbs_sensor.validate();
+}
+
+Scenario single_fbs_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.name = "single-fbs";
+  s.seed = seed;
+
+  s.spectrum.num_licensed = 8;
+  s.spectrum.occupancy = {0.4, 0.3};
+  s.spectrum.gamma = 0.2;
+  s.spectrum.user_sensor = {0.3, 0.3};
+  s.spectrum.fbs_sensor = {0.3, 0.3};
+
+  s.common_bandwidth = 0.3;
+  s.licensed_bandwidth = 0.3;
+  s.gop_deadline = 10;
+  s.num_gops = 20;
+
+  s.mbs.position = {0.0, 0.0};
+  s.fbss = {{0, {80.0, 0.0}, 15.0}};
+
+  // Fixed user placement (deterministic from the seed) so per-user results
+  // are comparable across schemes and runs, as in the paper's Fig. 3.
+  util::Rng rng(seed ^ 0xfeedface);
+  const std::vector<std::string> videos = {"Bus", "Mobile", "Harbor"};
+  s.users = net::Topology::scatter_users(s.fbss, 3, videos, rng);
+
+  s.finalize();
+  return s;
+}
+
+Scenario interfering_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.name = "interfering";
+  s.seed = seed;
+
+  s.spectrum.num_licensed = 8;
+  s.spectrum.occupancy = {0.4, 0.3};
+  s.spectrum.gamma = 0.2;
+  s.spectrum.user_sensor = {0.3, 0.3};
+  s.spectrum.fbs_sensor = {0.3, 0.3};
+
+  s.common_bandwidth = 0.3;
+  s.licensed_bandwidth = 0.3;
+  s.gop_deadline = 10;
+  s.num_gops = 20;
+
+  s.mbs.position = {0.0, 0.0};
+  // Coverage disks of radius 12 m, 20 m apart: 1-2 and 2-3 overlap
+  // (20 < 24), 1-3 do not (40 > 24) — the path graph of Fig. 5.
+  s.fbss = {
+      {0, {70.0, 0.0}, 12.0},
+      {1, {90.0, 0.0}, 12.0},
+      {2, {110.0, 0.0}, 12.0},
+  };
+
+  util::Rng rng(seed ^ 0xabcdef01);
+  const std::vector<std::string> videos = {"Bus",     "Mobile", "Harbor",
+                                           "Foreman", "Crew",   "City",
+                                           "Soccer",  "Football", "Ice"};
+  s.users = net::Topology::scatter_users(s.fbss, 3, videos, rng);
+
+  s.finalize();
+  return s;
+}
+
+Scenario fig1_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.name = "fig1";
+  s.seed = seed;
+
+  s.spectrum.num_licensed = 8;
+  s.spectrum.occupancy = {0.4, 0.3};
+  s.spectrum.gamma = 0.2;
+  s.spectrum.user_sensor = {0.3, 0.3};
+  s.spectrum.fbs_sensor = {0.3, 0.3};
+
+  s.common_bandwidth = 0.3;
+  s.licensed_bandwidth = 0.3;
+  s.gop_deadline = 10;
+  s.num_gops = 20;
+
+  s.mbs.position = {0.0, 0.0};
+  // FBS 1 and 2 far apart (isolated); FBS 3 and 4 overlapping — the Fig. 2
+  // interference graph with its single edge.
+  s.fbss = {
+      {0, {-80.0, 0.0}, 12.0},
+      {1, {0.0, 85.0}, 12.0},
+      {2, {75.0, -10.0}, 12.0},
+      {3, {95.0, -10.0}, 12.0},
+  };
+
+  util::Rng rng(seed ^ 0x00F16001);
+  const std::vector<std::string> videos = {"Bus",  "Mobile",   "Harbor",
+                                           "Crew", "Football", "City",
+                                           "Ice",  "Soccer"};
+  s.users = net::Topology::scatter_users(s.fbss, 2, videos, rng);
+
+  s.finalize();
+  return s;
+}
+
+}  // namespace femtocr::sim

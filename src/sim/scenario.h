@@ -1,0 +1,115 @@
+// Scenario configuration: everything needed to reproduce one simulation
+// setup from the paper's Section V, plus factories for the two scenarios it
+// evaluates (single FBS; three interfering FBSs in a path graph).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dual_solver.h"
+#include "net/topology.h"
+#include "spectrum/spectrum_manager.h"
+
+namespace femtocr::sim {
+
+/// How licensed-channel throughput is credited each slot.
+enum class Accounting {
+  /// Paper-faithful: the licensed rate scales with the *expected* available
+  /// channel count G_t (Eq. 10's constraint), as the formulation assumes.
+  kExpected,
+  /// Collision-aware: only channels that are truly idle deliver; accessed
+  /// busy channels collide with primary users and carry nothing.
+  kRealized,
+};
+
+/// How video data moves through the allocated capacity.
+enum class DeliveryModel {
+  /// Fluid rate model: PSNR increments of xi * rho * G * R per slot — the
+  /// paper's formulation (Eq. 10's state recursion).
+  kFluid,
+  /// Packet model: significance-ordered NAL units, head-of-line
+  /// retransmission on slot loss, overdue discard at the GOP deadline
+  /// (Section III-E's transmission discipline, modeled explicitly).
+  kPacket,
+};
+
+struct Scenario {
+  std::string name = "scenario";
+
+  // Spectrum (Section III-A/B/C). num_users/num_fbs are filled from the
+  // deployment by finalize().
+  spectrum::SpectrumConfig spectrum;
+
+  // Bandwidths (Mbps): B0 common, B1 per licensed channel.
+  double common_bandwidth = 0.3;
+  double licensed_bandwidth = 0.3;
+
+  // Video timing: GOP deadline T slots, and how many GOPs to simulate.
+  std::size_t gop_deadline = 10;
+  std::size_t num_gops = 20;
+  /// Play-out duration of one GOP (16 CIF frames at 30 fps); divides into
+  /// gop_deadline slots. Only the packet delivery model consumes it.
+  double gop_seconds = 16.0 / 30.0;
+  /// NAL-unit payload size for the packet model. MGS slices are a few
+  /// hundred bytes; 4000 bits (~500 B) keeps the quantization well below a
+  /// slot's per-user capacity slice (ablation A4 sweeps this).
+  std::size_t packet_bits = 4000;
+
+  // Deployment.
+  net::MacroBaseStation mbs{{0.0, 0.0}};
+  std::vector<net::FemtoBaseStation> fbss;
+  std::vector<net::CrUser> users;
+  net::RadioConfig radio;
+  /// Explicit interference graph (otherwise derived from coverage disks).
+  std::optional<net::InterferenceGraph> graph;
+
+  /// Pedestrian mobility: when stddev > 0, every user takes a Gaussian
+  /// step at each GOP boundary (clamped to the deployment's bounding box)
+  /// and the topology re-derives links and nearest-FBS association — users
+  /// can hand off between femtocells mid-stream.
+  struct Mobility {
+    double step_stddev = 0.0;  ///< meters per GOP; 0 disables mobility
+    double margin = 5.0;       ///< bounding-box slack around the cells
+  };
+  Mobility mobility;
+
+  Accounting accounting = Accounting::kExpected;
+  DeliveryModel delivery = DeliveryModel::kFluid;
+  core::DualOptions dual;
+  std::uint64_t seed = 1;
+
+  /// Copies deployment counts into the spectrum config and validates.
+  void finalize();
+
+  /// Sets all channels' occupancy to the target stationary utilization
+  /// (keeps the mixing intensity of the paper's baseline 0.4+0.3).
+  void set_utilization(double eta);
+
+  /// Sets the sensing error pair (epsilon, delta) for users and FBSs alike,
+  /// matching the paper's symmetric setting.
+  void set_sensing_errors(double false_alarm, double miss_detection);
+
+  /// Heterogeneous spectrum: per-channel utilizations ramp linearly from
+  /// `eta_lo` (channel 0) to `eta_hi` (channel M-1), same mixing intensity
+  /// as the homogeneous baseline. Mean utilization = (lo + hi) / 2.
+  void set_utilization_ramp(double eta_lo, double eta_hi);
+};
+
+/// Section V-A: M = 8 channels, P01 = 0.4, P10 = 0.3, gamma = 0.2, one FBS,
+/// three users streaming Bus, Mobile, Harbor; T = 10; eps = delta = 0.3;
+/// B0 = B1 = 0.3 Mbps. Geometry: MBS at the origin, the femtocell ~80 m out.
+Scenario single_fbs_scenario(std::uint64_t seed = 1);
+
+/// Section V-B: three FBSs whose coverages form the path graph of Fig. 5
+/// (1-2 and 2-3 overlap, 1-3 do not), three users each, nine videos.
+Scenario interfering_scenario(std::uint64_t seed = 1);
+
+/// The paper's Fig. 1 illustration network: four FBSs around the MBS, FBS 1
+/// and 2 isolated, FBS 3 and 4 overlapping — interference graph of Fig. 2
+/// (one edge, Dmax = 1, so Theorem 2 guarantees at least half the optimal
+/// channel gain). Two users per femtocell.
+Scenario fig1_scenario(std::uint64_t seed = 1);
+
+}  // namespace femtocr::sim

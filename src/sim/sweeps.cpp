@@ -1,0 +1,74 @@
+#include "sim/sweeps.h"
+
+#include <ostream>
+
+#include "util/ascii_chart.h"
+#include "util/table.h"
+
+namespace femtocr::sim {
+
+std::vector<SweepRow> sweep(const Scenario& base,
+                            const std::vector<double>& xs,
+                            const std::function<void(Scenario&, double)>& apply,
+                            std::size_t runs) {
+  std::vector<SweepRow> rows;
+  rows.reserve(xs.size());
+  for (double x : xs) {
+    Scenario s = base;
+    apply(s, x);
+    SweepRow row;
+    row.x = x;
+    row.schemes = run_all_schemes(s, runs);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_sweep(std::ostream& os, const std::string& title,
+                 const std::string& x_label,
+                 const std::vector<SweepRow>& rows, bool with_bound) {
+  std::vector<std::string> headers = {x_label, "Proposed (dB)",
+                                      "Heuristic1 (dB)", "Heuristic2 (dB)"};
+  if (with_bound) headers.push_back("UpperBound (dB)");
+  util::Table table(headers);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {util::Table::num(row.x, 2)};
+    for (const auto& s : row.schemes) {
+      cells.push_back(util::with_ci(s.mean_psnr.mean(),
+                                    util::confidence_interval95(s.mean_psnr)));
+    }
+    if (with_bound) {
+      const auto& proposed = row.schemes.front();
+      cells.push_back(
+          util::with_ci(proposed.bound_psnr.mean(),
+                        util::confidence_interval95(proposed.bound_psnr)));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(os);
+  table.print_csv(os, title);
+
+  // Shape at a glance: the same series as a terminal chart.
+  if (rows.size() >= 2) {
+    std::vector<double> xs;
+    for (const auto& row : rows) xs.push_back(row.x);
+    util::AsciiChart chart(title + " — " + x_label + " vs Y-PSNR (dB)", xs);
+    const char* names[] = {"Proposed", "Heuristic1", "Heuristic2"};
+    for (std::size_t k = 0; k < 3; ++k) {
+      std::vector<double> ys;
+      for (const auto& row : rows) ys.push_back(row.schemes[k].mean_psnr.mean());
+      chart.add_series(names[k], std::move(ys));
+    }
+    if (with_bound) {
+      std::vector<double> ys;
+      for (const auto& row : rows) {
+        ys.push_back(row.schemes.front().bound_psnr.mean());
+      }
+      chart.add_series("UpperBound", std::move(ys));
+    }
+    os << '\n';
+    chart.print(os);
+  }
+}
+
+}  // namespace femtocr::sim

@@ -1,0 +1,22 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace femtocr::sim {
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "slot,gop,available,expected_channels,collisions,objective,"
+        "upper_bound,user,bs,rho,increment,psnr\n";
+  for (const auto& e : entries_) {
+    for (std::size_t j = 0; j < e.users.size(); ++j) {
+      const auto& u = e.users[j];
+      os << e.slot << ',' << e.gop << ',' << e.available << ','
+         << e.expected_channels << ',' << e.collisions << ',' << e.objective
+         << ',' << e.upper_bound << ',' << j << ','
+         << (u.use_mbs ? "mbs" : "fbs") << ',' << u.rho << ',' << u.increment
+         << ',' << u.psnr_after << '\n';
+    }
+  }
+}
+
+}  // namespace femtocr::sim

@@ -1,0 +1,49 @@
+#include "spectrum/access.h"
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace femtocr::spectrum {
+
+double access_probability(double posterior_idle, double gamma) {
+  FEMTOCR_CHECK(posterior_idle >= 0.0 && posterior_idle <= 1.0,
+                "posterior must be a probability");
+  FEMTOCR_CHECK(gamma >= 0.0 && gamma <= 1.0,
+                "collision budget must be a probability");
+  const double busy_prob = 1.0 - posterior_idle;
+  if (busy_prob <= gamma) return 1.0;  // constraint slack even at P^D = 1
+  return gamma / busy_prob;
+}
+
+std::vector<std::size_t> AccessOutcome::available() const {
+  std::vector<std::size_t> out;
+  for (const auto& d : decisions) {
+    if (d.access) out.push_back(d.channel);
+  }
+  return out;
+}
+
+double AccessOutcome::expected_available() const {
+  double g = 0.0;
+  for (const auto& d : decisions) {
+    if (d.access) g += d.posterior_idle;
+  }
+  return g;
+}
+
+AccessOutcome decide_access(const std::vector<double>& posteriors, double gamma,
+                            util::Rng& rng) {
+  AccessOutcome out;
+  out.decisions.reserve(posteriors.size());
+  for (std::size_t m = 0; m < posteriors.size(); ++m) {
+    ChannelDecision d;
+    d.channel = m;
+    d.posterior_idle = posteriors[m];
+    d.access_prob = access_probability(posteriors[m], gamma);
+    d.access = rng.bernoulli(d.access_prob);
+    out.decisions.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace femtocr::spectrum

@@ -1,0 +1,50 @@
+// Opportunistic channel access with primary-user protection
+// (paper Section III-C, Eqs. 5–7).
+//
+// After fusing sensing reports into an availability posterior P^A_m, the CR
+// network decides probabilistically whether to treat channel m as idle:
+// D_m = 0 ("access") with probability P^D_m, chosen as large as the collision
+// constraint allows:
+//     (1 - P^A_m) * P^D_m <= gamma_m   =>   P^D_m = min{gamma_m/(1-P^A_m), 1}.
+// The available set A(t) = {m : D_m = 0}, and the expected number of
+// available channels G_t = sum_{m in A(t)} P^A_m scales the licensed-side
+// data rate in the optimization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace femtocr::spectrum {
+
+/// Maximum access probability satisfying the collision constraint (Eq. 7).
+/// `posterior_idle` is P^A_m; `gamma` is the per-channel collision budget.
+double access_probability(double posterior_idle, double gamma);
+
+/// Per-channel outcome of the access decision stage.
+struct ChannelDecision {
+  std::size_t channel = 0;      ///< licensed-channel index (0-based)
+  double posterior_idle = 0.0;  ///< P^A_m after fusion
+  double access_prob = 0.0;     ///< P^D_m from Eq. (7)
+  bool access = false;          ///< realized decision D_m == 0
+};
+
+/// Result of running the access policy across all licensed channels.
+struct AccessOutcome {
+  std::vector<ChannelDecision> decisions;  ///< one per licensed channel
+
+  /// Indices with decisions[i].access — the paper's A(t).
+  std::vector<std::size_t> available() const;
+
+  /// Expected number of available channels, G_t = sum_{m in A(t)} P^A_m.
+  double expected_available() const;
+};
+
+/// Applies Eq. (7) to every channel and realizes the Bernoulli access
+/// decisions with `rng`. `posteriors[m]` is P^A_m; `gamma` applies to all
+/// channels (the paper uses a common gamma_m = 0.2).
+AccessOutcome decide_access(const std::vector<double>& posteriors, double gamma,
+                            util::Rng& rng);
+
+}  // namespace femtocr::spectrum

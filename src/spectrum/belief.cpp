@@ -1,0 +1,51 @@
+#include "spectrum/belief.h"
+
+#include "util/check.h"
+#include "util/mathx.h"
+
+namespace femtocr::spectrum {
+
+BeliefTracker::BeliefTracker(std::vector<MarkovParams> params)
+    : params_(std::move(params)) {
+  FEMTOCR_CHECK(!params_.empty(), "tracker needs at least one channel");
+  belief_.reserve(params_.size());
+  for (const auto& p : params_) {
+    p.validate();
+    belief_.push_back(1.0 - p.utilization());
+  }
+}
+
+double BeliefTracker::predicted_idle(std::size_t m) const {
+  FEMTOCR_CHECK(m < size(), "channel index out of range");
+  const MarkovParams& p = params_[m];
+  // Pr{idle next} = Pr{idle now} (1 - P01) + Pr{busy now} P10.
+  return belief_[m] * (1.0 - p.p01) + (1.0 - belief_[m]) * p.p10;
+}
+
+void BeliefTracker::predict() {
+  for (std::size_t m = 0; m < size(); ++m) {
+    belief_[m] = predicted_idle(m);
+  }
+}
+
+double BeliefTracker::update(std::size_t m,
+                             const std::vector<SensingReport>& reports) {
+  FEMTOCR_CHECK(m < size(), "channel index out of range");
+  // Eq. (2) with the predicted belief as prior: prior busy probability
+  // 1 - b plays the role of eta.
+  const double prior_busy = util::clamp(1.0 - belief_[m], 0.0, 1.0 - 1e-12);
+  belief_[m] = posterior_idle(prior_busy, reports);
+  return belief_[m];
+}
+
+double BeliefTracker::belief(std::size_t m) const {
+  FEMTOCR_CHECK(m < size(), "channel index out of range");
+  return belief_[m];
+}
+
+double BeliefTracker::stationary_idle(std::size_t m) const {
+  FEMTOCR_CHECK(m < size(), "channel index out of range");
+  return 1.0 - params_[m].utilization();
+}
+
+}  // namespace femtocr::spectrum

@@ -1,0 +1,53 @@
+// Markov belief tracking over channel occupancy (extension).
+//
+// The paper fuses each slot's sensing reports against the *stationary*
+// prior eta (Eq. 2). But the occupancy chain has memory: given last slot's
+// posterior belief b_{t-1} = Pr{idle}, the correct prior for this slot is
+// the one-step prediction
+//     b_t^- = b_{t-1} (1 - P01) + (1 - b_{t-1}) P10,
+// which is sharper than the stationary prior whenever the chain is sticky
+// (P01 + P10 < 1). BeliefTracker maintains per-channel beliefs through the
+// predict -> update cycle; the update folds the slot's sensing reports in
+// exactly as Eq. (2) does, just from the predicted prior. With no reports
+// the belief relaxes toward the stationary distribution, recovering the
+// paper's behaviour in the limit. Ablation A9 measures the end-to-end
+// value.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "spectrum/markov_channel.h"
+#include "spectrum/sensing.h"
+
+namespace femtocr::spectrum {
+
+class BeliefTracker {
+ public:
+  /// Starts every channel at its stationary idle probability.
+  explicit BeliefTracker(std::vector<MarkovParams> params);
+
+  std::size_t size() const { return params_.size(); }
+
+  /// One-step prediction for channel m (before this slot's reports).
+  double predicted_idle(std::size_t m) const;
+
+  /// Advances all channels one slot: prediction becomes the new prior.
+  void predict();
+
+  /// Folds this slot's sensing reports for channel m into the belief
+  /// (call after predict()). Returns the posterior idle probability.
+  double update(std::size_t m, const std::vector<SensingReport>& reports);
+
+  /// Current belief (posterior if update() ran this slot).
+  double belief(std::size_t m) const;
+
+  /// Stationary idle probability of channel m (the paper's static prior).
+  double stationary_idle(std::size_t m) const;
+
+ private:
+  std::vector<MarkovParams> params_;
+  std::vector<double> belief_;  ///< Pr{idle} per channel
+};
+
+}  // namespace femtocr::spectrum

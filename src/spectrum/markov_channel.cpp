@@ -1,0 +1,89 @@
+#include "spectrum/markov_channel.h"
+
+#include "util/check.h"
+
+namespace femtocr::spectrum {
+
+double MarkovParams::utilization() const {
+  return p01 / (p01 + p10);
+}
+
+MarkovParams MarkovParams::from_utilization(double eta, double mixing) {
+  FEMTOCR_CHECK(eta > 0.0 && eta < 1.0, "eta must lie strictly in (0,1)");
+  FEMTOCR_CHECK(mixing > 0.0, "mixing intensity must be positive");
+  MarkovParams p;
+  p.p01 = eta * mixing;
+  p.p10 = (1.0 - eta) * mixing;
+  p.validate();
+  return p;
+}
+
+void MarkovParams::validate() const {
+  FEMTOCR_CHECK(p01 >= 0.0 && p01 <= 1.0, "p01 must be a probability");
+  FEMTOCR_CHECK(p10 >= 0.0 && p10 <= 1.0, "p10 must be a probability");
+  FEMTOCR_CHECK(p01 + p10 > 0.0, "chain must not be frozen (p01 + p10 > 0)");
+}
+
+MarkovChannel::MarkovChannel(MarkovParams params, util::Rng& rng)
+    : params_(params) {
+  params_.validate();
+  state_ = rng.bernoulli(params_.utilization()) ? ChannelState::kBusy
+                                                : ChannelState::kIdle;
+}
+
+MarkovChannel::MarkovChannel(MarkovParams params, ChannelState initial)
+    : params_(params), state_(initial) {
+  params_.validate();
+}
+
+ChannelState MarkovChannel::step(util::Rng& rng) {
+  if (state_ == ChannelState::kIdle) {
+    if (rng.bernoulli(params_.p01)) state_ = ChannelState::kBusy;
+  } else {
+    if (rng.bernoulli(params_.p10)) state_ = ChannelState::kIdle;
+  }
+  return state_;
+}
+
+PrimarySpectrum::PrimarySpectrum(std::size_t num_channels, MarkovParams params,
+                                 util::Rng& rng) {
+  FEMTOCR_CHECK(num_channels > 0, "need at least one licensed channel");
+  channels_.reserve(num_channels);
+  for (std::size_t m = 0; m < num_channels; ++m) {
+    channels_.emplace_back(params, rng);
+  }
+}
+
+PrimarySpectrum::PrimarySpectrum(std::vector<MarkovParams> params,
+                                 util::Rng& rng) {
+  FEMTOCR_CHECK(!params.empty(), "need at least one licensed channel");
+  channels_.reserve(params.size());
+  for (const auto& p : params) channels_.emplace_back(p, rng);
+}
+
+void PrimarySpectrum::step(util::Rng& rng) {
+  for (auto& ch : channels_) ch.step(rng);
+}
+
+ChannelState PrimarySpectrum::state(std::size_t m) const {
+  FEMTOCR_CHECK(m < channels_.size(), "channel index out of range");
+  return channels_[m].state();
+}
+
+bool PrimarySpectrum::busy(std::size_t m) const {
+  return state(m) == ChannelState::kBusy;
+}
+
+const MarkovParams& PrimarySpectrum::params(std::size_t m) const {
+  FEMTOCR_CHECK(m < channels_.size(), "channel index out of range");
+  return channels_[m].params();
+}
+
+std::vector<ChannelState> PrimarySpectrum::snapshot() const {
+  std::vector<ChannelState> s;
+  s.reserve(channels_.size());
+  for (const auto& ch : channels_) s.push_back(ch.state());
+  return s;
+}
+
+}  // namespace femtocr::spectrum

@@ -1,0 +1,86 @@
+// Two-state discrete-time Markov occupancy model for licensed channels
+// (paper Section III-A, Eq. 1).
+//
+// Each licensed channel is idle (0) or busy (1) with transition
+// probabilities P01 (idle->busy) and P10 (busy->idle); the stationary
+// utilization is eta = P01 / (P01 + P10). Channels evolve independently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace femtocr::spectrum {
+
+/// Occupancy state of one licensed channel in one slot.
+enum class ChannelState : int { kIdle = 0, kBusy = 1 };
+
+/// Transition parameters of one channel's occupancy chain.
+struct MarkovParams {
+  double p01 = 0.4;  ///< Pr{busy in t+1 | idle in t}
+  double p10 = 0.3;  ///< Pr{idle in t+1 | busy in t}
+
+  /// Stationary utilization eta = P01/(P01+P10) — Eq. (1).
+  double utilization() const;
+
+  /// Builds parameters achieving a target utilization eta while keeping the
+  /// chain's switching intensity P01 + P10 = mixing (defaults match the
+  /// paper's baseline 0.4 + 0.3 = 0.7). Used by the eta sweeps of
+  /// Figs. 4(c) and 6(a).
+  static MarkovParams from_utilization(double eta, double mixing = 0.7);
+
+  /// Validates 0 <= p01, p10 <= 1 and p01 + p10 > 0.
+  void validate() const;
+};
+
+/// One licensed channel: holds its parameters and current occupancy state.
+class MarkovChannel {
+ public:
+  /// Starts from the stationary distribution (drawn with `rng`).
+  MarkovChannel(MarkovParams params, util::Rng& rng);
+
+  /// Starts from an explicit state (deterministic; used in tests).
+  MarkovChannel(MarkovParams params, ChannelState initial);
+
+  /// Advances one slot and returns the new state.
+  ChannelState step(util::Rng& rng);
+
+  ChannelState state() const { return state_; }
+  bool busy() const { return state_ == ChannelState::kBusy; }
+  const MarkovParams& params() const { return params_; }
+  double utilization() const { return params_.utilization(); }
+
+ private:
+  MarkovParams params_;
+  ChannelState state_;
+};
+
+/// The licensed spectrum: M independent MarkovChannels plus the common
+/// channel's (index 0 in the paper) bandwidth bookkeeping lives elsewhere —
+/// this class models only primary occupancy of channels 1..M.
+class PrimarySpectrum {
+ public:
+  PrimarySpectrum(std::size_t num_channels, MarkovParams params,
+                  util::Rng& rng);
+  /// Heterogeneous parameters per channel.
+  PrimarySpectrum(std::vector<MarkovParams> params, util::Rng& rng);
+
+  std::size_t size() const { return channels_.size(); }
+
+  /// Advances all channels one slot.
+  void step(util::Rng& rng);
+
+  /// Current occupancy of channel m (0-based over licensed channels).
+  ChannelState state(std::size_t m) const;
+  bool busy(std::size_t m) const;
+  const MarkovParams& params(std::size_t m) const;
+
+  /// Snapshot of all states, S(t) in the paper.
+  std::vector<ChannelState> snapshot() const;
+
+ private:
+  std::vector<MarkovChannel> channels_;
+};
+
+}  // namespace femtocr::spectrum

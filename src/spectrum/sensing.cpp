@@ -1,0 +1,80 @@
+#include "spectrum/sensing.h"
+
+#include "util/check.h"
+
+namespace femtocr::spectrum {
+
+namespace {
+
+/// Likelihood ratio  Pr{theta | busy} / Pr{theta | idle}  for one report.
+/// This is the factor multiplying the busy:idle odds in Eqs. (2)-(4):
+///   theta = 1:  (1 - delta) / eps
+///   theta = 0:  delta / (1 - eps)
+double busy_to_idle_likelihood_ratio(const SensingReport& r) {
+  const double eps = r.sensor.false_alarm;
+  const double delta = r.sensor.miss_detection;
+  if (r.theta == 1) {
+    // Guard the degenerate perfect-sensor corner: eps == 0 and a busy report
+    // means the channel is certainly busy (infinite ratio).
+    if (eps <= 0.0) return 1e30;
+    return (1.0 - delta) / eps;
+  }
+  if (1.0 - eps <= 0.0) return 1e30;  // eps == 1, idle report: certainly busy
+  return delta / (1.0 - eps);
+}
+
+}  // namespace
+
+void SensorModel::validate() const {
+  FEMTOCR_CHECK(false_alarm >= 0.0 && false_alarm <= 1.0,
+                "false-alarm probability out of range");
+  FEMTOCR_CHECK(miss_detection >= 0.0 && miss_detection <= 1.0,
+                "miss-detection probability out of range");
+}
+
+int SensorModel::sense(bool busy, util::Rng& rng) const {
+  if (busy) {
+    return rng.bernoulli(miss_detection) ? 0 : 1;
+  }
+  return rng.bernoulli(false_alarm) ? 1 : 0;
+}
+
+double posterior_idle_single(double eta, const SensingReport& report) {
+  FEMTOCR_CHECK(eta >= 0.0 && eta < 1.0, "prior utilization must be in [0,1)");
+  FEMTOCR_CHECK(report.theta == 0 || report.theta == 1,
+                "sensing report must be binary");
+  // Eq. (3): P^A = [1 + eta/(1-eta) * ratio]^{-1}.
+  const double odds = eta / (1.0 - eta) * busy_to_idle_likelihood_ratio(report);
+  return 1.0 / (1.0 + odds);
+}
+
+double posterior_idle_update(double prev, const SensingReport& report) {
+  FEMTOCR_CHECK(prev > 0.0 && prev <= 1.0,
+                "previous posterior must lie in (0,1]");
+  FEMTOCR_CHECK(report.theta == 0 || report.theta == 1,
+                "sensing report must be binary");
+  // Eq. (4): fold one more likelihood ratio into the busy:idle odds.
+  const double odds = (1.0 / prev - 1.0) * busy_to_idle_likelihood_ratio(report);
+  return 1.0 / (1.0 + odds);
+}
+
+double posterior_idle(double eta, const std::vector<SensingReport>& reports) {
+  FEMTOCR_CHECK(eta >= 0.0 && eta < 1.0, "prior utilization must be in [0,1)");
+  // Eq. (2) in odds form: busy:idle odds = eta/(1-eta) * prod ratios.
+  double odds = eta / (1.0 - eta);
+  for (const auto& r : reports) {
+    FEMTOCR_CHECK(r.theta == 0 || r.theta == 1, "sensing report must be binary");
+    odds *= busy_to_idle_likelihood_ratio(r);
+  }
+  return 1.0 / (1.0 + odds);
+}
+
+double posterior_idle(double eta, const SensorModel& model,
+                      const std::vector<int>& thetas) {
+  std::vector<SensingReport> reports;
+  reports.reserve(thetas.size());
+  for (int theta : thetas) reports.push_back({theta, model});
+  return posterior_idle(eta, reports);
+}
+
+}  // namespace femtocr::spectrum

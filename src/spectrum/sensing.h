@@ -1,0 +1,54 @@
+// Spectrum sensing with imperfect binary detectors and Bayesian fusion
+// (paper Section III-B, Eqs. 2–4).
+//
+// Each CR user/FBS sensor observing channel m reports Theta in {0 (idle),
+// 1 (busy)} with false-alarm probability eps = Pr{Theta=1 | idle} and
+// miss-detection probability delta = Pr{Theta=0 | busy}. Given L reports,
+// the posterior availability P^A_m = Pr{idle | Theta_1..Theta_L} follows
+// from Bayes' rule with the stationary utilization eta as prior. The paper
+// computes it iteratively (Eqs. 3–4); we implement both the closed form and
+// the iterative recursion (and test they agree).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace femtocr::spectrum {
+
+/// Error profile of one binary spectrum sensor.
+struct SensorModel {
+  double false_alarm = 0.3;     ///< eps: Pr{report busy | channel idle}
+  double miss_detection = 0.3;  ///< delta: Pr{report idle | channel busy}
+
+  void validate() const;
+
+  /// Draws one sensing report for a channel whose true occupancy is `busy`.
+  /// Returns 1 when the sensor reports busy, 0 when it reports idle.
+  int sense(bool busy, util::Rng& rng) const;
+};
+
+/// One sensing observation: the report and the sensor that produced it.
+struct SensingReport {
+  int theta = 0;        ///< 0 = reported idle, 1 = reported busy
+  SensorModel sensor;   ///< the (eps, delta) profile of the reporting sensor
+};
+
+/// Posterior probability that the channel is idle given one report —
+/// Eq. (3), with prior utilization eta.
+double posterior_idle_single(double eta, const SensingReport& report);
+
+/// Iterative update of the posterior given one more report — Eq. (4).
+/// `prev` is P^A after the earlier reports; returns P^A after this one.
+double posterior_idle_update(double prev, const SensingReport& report);
+
+/// Closed-form posterior from a batch of reports — Eq. (2). Equals folding
+/// posterior_idle_update over the reports starting from the prior.
+double posterior_idle(double eta, const std::vector<SensingReport>& reports);
+
+/// Convenience: fuse homogeneous reports (all sensors share `model`).
+double posterior_idle(double eta, const SensorModel& model,
+                      const std::vector<int>& thetas);
+
+}  // namespace femtocr::spectrum

@@ -1,0 +1,109 @@
+// Per-slot sensing orchestration (paper Sections III-B/C).
+//
+// Ties the substrate together: each slot, the primary channels evolve, CR
+// users and FBSs produce sensing reports, reports are fused per channel into
+// availability posteriors, and the access policy realizes the available set
+// A(t) with its expected size G_t.
+//
+// Sensing assignment follows the paper: each CR user has a single
+// transceiver and senses exactly one licensed channel per slot (users are
+// spread round-robin across channels, rotating each slot so every channel is
+// covered over time); each FBS has M antennas and senses every licensed
+// channel. All reports are shared over the common channel, so fusion uses
+// the union of reports per channel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "spectrum/access.h"
+#include "spectrum/belief.h"
+#include "spectrum/markov_channel.h"
+#include "spectrum/sensing.h"
+#include "util/rng.h"
+
+namespace femtocr::spectrum {
+
+/// How single-transceiver users are scheduled onto channels for sensing.
+enum class SensingAssignment {
+  /// User u senses channel (u + t) mod M: uniform coverage over time.
+  kRoundRobin,
+  /// Users concentrate on the channels whose stationary occupancy is the
+  /// most uncertain (eta closest to 1/2) — where one extra report buys the
+  /// most posterior sharpening. Only pays off on heterogeneous bands;
+  /// near-deterministic channels are left to the FBS antennas.
+  kUncertaintyFirst,
+};
+
+/// Static configuration of the sensing/access stage.
+struct SpectrumConfig {
+  std::size_t num_licensed = 8;   ///< M
+  MarkovParams occupancy;         ///< common chain parameters for all channels
+  /// Optional per-channel occupancy parameters (size must equal
+  /// num_licensed when non-empty); overrides `occupancy`. Real bands are
+  /// heterogeneous — some channels are nearly always busy, others mostly
+  /// idle — and the posterior-driven allocation exploits that.
+  std::vector<MarkovParams> per_channel;
+  double gamma = 0.2;             ///< collision budget gamma_m (all channels)
+  SensorModel user_sensor;        ///< (eps, delta) of each CR user's detector
+  SensorModel fbs_sensor;         ///< (eps, delta) of each FBS antenna
+  std::size_t num_users = 3;      ///< K — one single-channel sensor each
+  std::size_t num_fbs = 1;        ///< N — each senses all M channels
+  bool fbs_sense_all = true;      ///< disable to study user-only fusion
+  SensingAssignment assignment = SensingAssignment::kRoundRobin;
+  /// Fuse reports against the one-step Markov prediction of last slot's
+  /// posterior instead of the stationary prior (the paper's Eq. 2 uses the
+  /// stationary prior; tracking is strictly more informative on sticky
+  /// chains — ablation A9).
+  bool track_beliefs = false;
+
+  void validate() const;
+};
+
+/// Everything the resource allocator needs to know about one slot's spectrum.
+struct SlotObservation {
+  std::vector<ChannelState> true_states;  ///< ground truth S(t) (M entries)
+  std::vector<double> posteriors;         ///< P^A_m after fusion (M entries)
+  AccessOutcome access;                   ///< realized decisions D_m
+  std::vector<std::size_t> available;     ///< A(t)
+  double expected_available = 0.0;        ///< G_t
+
+  /// Channels in A(t) that are truly idle — what a collision-aware
+  /// accounting model would actually deliver on.
+  std::size_t truly_idle_available() const;
+  /// Channels in A(t) that are truly busy: collisions with primary users.
+  std::size_t collisions() const;
+};
+
+/// Owns the primary occupancy processes and runs sense->fuse->access each
+/// slot. Deterministic given the Rng streams passed in.
+class SpectrumManager {
+ public:
+  SpectrumManager(SpectrumConfig config, util::Rng& init_rng);
+
+  /// Advances the primary chains one slot, gathers and fuses sensing
+  /// reports, and realizes access decisions. `slot_index` drives the
+  /// round-robin rotation of user-to-channel sensing assignments.
+  SlotObservation observe_slot(std::size_t slot_index, util::Rng& rng);
+
+  const SpectrumConfig& config() const { return config_; }
+  const PrimarySpectrum& primary() const { return primary_; }
+
+  /// The channel user u senses in `slot_index` under the configured
+  /// assignment strategy.
+  std::size_t sensed_channel(std::size_t user, std::size_t slot_index) const;
+
+  /// Number of sensing reports channel m receives in a slot given the
+  /// configuration and slot index (FBS reports + assigned users).
+  std::size_t reports_for_channel(std::size_t m, std::size_t slot_index) const;
+
+ private:
+  SpectrumConfig config_;
+  PrimarySpectrum primary_;
+  /// Channel indices ordered by prior uncertainty (|eta - 1/2| ascending),
+  /// precomputed for kUncertaintyFirst.
+  std::vector<std::size_t> uncertainty_order_;
+  BeliefTracker beliefs_;  ///< consulted only when config_.track_beliefs
+};
+
+}  // namespace femtocr::spectrum

@@ -1,0 +1,115 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace femtocr::util {
+
+namespace {
+constexpr char kMarkers[] = "*o+x#@";
+}
+
+AsciiChart::AsciiChart(std::string title, std::vector<double> xs)
+    : title_(std::move(title)), xs_(std::move(xs)) {
+  FEMTOCR_CHECK(xs_.size() >= 2, "a chart needs at least two x positions");
+}
+
+void AsciiChart::add_series(std::string name, std::vector<double> ys) {
+  FEMTOCR_CHECK(ys.size() == xs_.size(),
+                "series must provide one value per x position");
+  ChartSeries s;
+  s.name = std::move(name);
+  s.ys = std::move(ys);
+  s.marker = kMarkers[series_.size() % (sizeof(kMarkers) - 1)];
+  series_.push_back(std::move(s));
+}
+
+void AsciiChart::print(std::ostream& os, std::size_t height,
+                       std::size_t width) const {
+  FEMTOCR_CHECK(!series_.empty(), "chart has no series");
+  FEMTOCR_CHECK(height >= 4 && width >= 8, "canvas too small");
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const auto& s : series_) {
+    for (double y : s.ys) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+  }
+  if (hi - lo < 1e-12) {  // flat data: open a window around it
+    hi += 0.5;
+    lo -= 0.5;
+  }
+  const double pad = 0.05 * (hi - lo);
+  lo -= pad;
+  hi += pad;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  auto col_of = [&](std::size_t i) {
+    return static_cast<std::size_t>(
+        std::lround(static_cast<double>(i) /
+                    static_cast<double>(xs_.size() - 1) *
+                    static_cast<double>(width - 1)));
+  };
+  auto row_of = [&](double y) {
+    const double frac = (y - lo) / (hi - lo);
+    const auto r = static_cast<std::size_t>(
+        std::lround((1.0 - frac) * static_cast<double>(height - 1)));
+    return std::min(r, height - 1);
+  };
+
+  for (const auto& s : series_) {
+    // Line segments between consecutive points, then markers on top.
+    for (std::size_t i = 0; i + 1 < xs_.size(); ++i) {
+      const auto c0 = col_of(i), c1 = col_of(i + 1);
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const double t = c1 == c0 ? 0.0
+                                  : static_cast<double>(c - c0) /
+                                        static_cast<double>(c1 - c0);
+        const double y = s.ys[i] + t * (s.ys[i + 1] - s.ys[i]);
+        char& cell = canvas[row_of(y)][c];
+        if (cell == ' ') cell = '.';
+      }
+    }
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      canvas[row_of(s.ys[i])][col_of(i)] = s.marker;
+    }
+  }
+
+  os << title_ << '\n';
+  for (std::size_t r = 0; r < height; ++r) {
+    const double y = hi - (hi - lo) * static_cast<double>(r) /
+                              static_cast<double>(height - 1);
+    os << std::setw(8) << std::fixed << std::setprecision(2) << y << " |"
+       << canvas[r] << '\n';
+  }
+  os << std::string(8, ' ') << " +" << std::string(width, '-') << '\n';
+  std::ostringstream xlabels;
+  xlabels << std::setw(8) << ' ' << "  ";
+  std::string labels(width, ' ');
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    std::ostringstream v;
+    v << std::setprecision(3) << xs_[i];
+    const std::string text = v.str();
+    std::size_t start = col_of(i);
+    if (start + text.size() > width) start = width - text.size();
+    for (std::size_t k = 0; k < text.size(); ++k) {
+      labels[start + k] = text[k];
+    }
+  }
+  os << xlabels.str() << labels << '\n';
+  os << "  legend:";
+  for (const auto& s : series_) {
+    os << "  " << s.marker << " = " << s.name;
+  }
+  os << '\n';
+}
+
+}  // namespace femtocr::util

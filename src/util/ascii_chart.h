@@ -1,0 +1,42 @@
+// ASCII line charts for bench output.
+//
+// The bench binaries regenerate the paper's figures as tables; this module
+// additionally draws them as terminal charts so the curve shapes (who wins,
+// where curves cross, where they flatten) are visible at a glance in the
+// bench logs. Multiple series share one canvas; each series gets a marker
+// character and a legend entry.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace femtocr::util {
+
+struct ChartSeries {
+  std::string name;
+  std::vector<double> ys;  ///< one value per x position
+  char marker = '*';
+};
+
+class AsciiChart {
+ public:
+  /// `xs` are the shared x positions (printed under the canvas).
+  AsciiChart(std::string title, std::vector<double> xs);
+
+  /// Adds a series; must have one y per x. Markers are assigned from
+  /// "*o+x#@" in order when not set explicitly.
+  void add_series(std::string name, std::vector<double> ys);
+
+  /// Renders the chart: `height` canvas rows plus axes and legend. The
+  /// y-range is padded 5% beyond the data extremes.
+  void print(std::ostream& os, std::size_t height = 16,
+             std::size_t width = 64) const;
+
+ private:
+  std::string title_;
+  std::vector<double> xs_;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace femtocr::util

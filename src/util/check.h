@@ -1,0 +1,31 @@
+// Contract-checking macros for the femtocr library.
+//
+// FEMTOCR_CHECK(cond, msg)  — precondition / invariant check that is always
+// active (benches included): failures indicate a programming error or an
+// invalid configuration, and throw std::logic_error with file:line context.
+// These guards sit on construction and configuration paths, not in per-slot
+// hot loops, so the cost is negligible.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace femtocr::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) oss << " — " << msg;
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace femtocr::util
+
+#define FEMTOCR_CHECK(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::femtocr::util::check_failed(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// The library is quiet by default (kWarn); simulations and examples can
+// raise verbosity to trace per-slot decisions. Logging is process-global
+// and not synchronized — the simulator is single-threaded by design, and
+// benches run experiments sequentially.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace femtocr::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets/reads the global threshold. Messages below the threshold are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr as "[LEVEL] message" if enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, oss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+}  // namespace femtocr::util
+
+#define FEMTOCR_LOG(level) ::femtocr::util::detail::LogStream(level)
+#define FEMTOCR_LOG_INFO FEMTOCR_LOG(::femtocr::util::LogLevel::kInfo)
+#define FEMTOCR_LOG_DEBUG FEMTOCR_LOG(::femtocr::util::LogLevel::kDebug)
+#define FEMTOCR_LOG_WARN FEMTOCR_LOG(::femtocr::util::LogLevel::kWarn)

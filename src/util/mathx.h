@@ -1,0 +1,35 @@
+// Small numeric helpers shared across layers (header-only).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace femtocr::util {
+
+/// Projection onto the nonnegative reals: [x]^+ in the paper's notation.
+inline double pos(double x) { return x > 0.0 ? x : 0.0; }
+
+/// Clamp into [lo, hi].
+inline double clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+/// True if |a-b| <= tol (absolute comparison; operands are O(1)-scaled
+/// probabilities, PSNRs in dB, or slot fractions throughout this library).
+inline bool near(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+/// Squared Euclidean norm of the difference of two equal-length vectors,
+/// used for the dual-variable stopping rule  sum_i (l_i' - l_i)^2 <= phi.
+template <typename Vec>
+double squared_distance(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace femtocr::util

@@ -1,0 +1,55 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace femtocr::util {
+
+std::size_t Rng::index(std::size_t n) {
+  FEMTOCR_CHECK(n > 0, "Rng::index requires n > 0");
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  FEMTOCR_CHECK(mean > 0.0, "exponential mean must be positive");
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+Rng Rng::split(std::uint64_t salt) {
+  ++splits_;
+  // Mix the parent seed, the salt, and the split counter through a
+  // SplitMix64-style finalizer so sibling streams are decorrelated.
+  std::uint64_t z = seed_ + salt * 0xbf58476d1ce4e5b9ULL + splits_;
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return Rng(z);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(p[i - 1], p[index(i)]);
+  }
+  return p;
+}
+
+}  // namespace femtocr::util

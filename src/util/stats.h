@@ -1,0 +1,51 @@
+// Online statistics and confidence intervals.
+//
+// The paper reports each point as the average of 10 simulation runs with a
+// 95% confidence interval; RunningStat + confidence_interval95 reproduce that
+// exact bookkeeping (Student-t, n-1 degrees of freedom).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace femtocr::util {
+
+/// Welford online accumulator for mean/variance. Numerically stable; O(1)
+/// per observation, no sample storage.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 for n < 2.
+  double stderr_mean() const;
+  double min() const;
+  double max() const;
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Student-t critical value at 95% confidence for the given degrees
+/// of freedom (exact table for df <= 30, normal approximation beyond).
+double t_critical95(std::size_t df);
+
+/// Half-width of the 95% confidence interval on the mean of `s`.
+/// Returns 0 when fewer than two samples have been observed.
+double confidence_interval95(const RunningStat& s);
+
+/// Mean of a sample vector (0 for empty input).
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace femtocr::util

@@ -1,0 +1,71 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace femtocr::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FEMTOCR_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FEMTOCR_CHECK(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto rule = [&] {
+    os << '+';
+    for (auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os, const std::string& title) const {
+  os << "csv," << title;
+  for (const auto& h : headers_) os << ',' << h;
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << "csv," << title;
+    for (const auto& cell : row) os << ',' << cell;
+    os << '\n';
+  }
+}
+
+std::string with_ci(double mean, double ci, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << mean << " +/- " << ci;
+  return oss.str();
+}
+
+}  // namespace femtocr::util

@@ -1,0 +1,43 @@
+// ASCII + CSV table rendering for bench output.
+//
+// Every bench binary regenerating a paper figure prints (a) a human-readable
+// aligned table and (b) machine-readable CSV rows prefixed with "csv," so a
+// plotting script can grep them out of the combined bench log.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace femtocr::util {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with fixed precision. Rendering never throws on well-formed input.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats `v` with `precision` decimals and returns it as a cell string.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders with box-drawing separators to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders CSV lines "csv,<title>,<h1>,<h2>,..." then one line per row.
+  void print_csv(std::ostream& os, const std::string& title) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats "mean ± ci" with the given precision, e.g. "35.12 ± 0.08".
+std::string with_ci(double mean, double ci, int precision = 2);
+
+}  // namespace femtocr::util

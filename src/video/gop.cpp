@@ -1,0 +1,4 @@
+#include "video/gop.h"
+
+// GopClock is fully inline; this TU anchors the module in the build so the
+// video library always has at least one object file per header group.

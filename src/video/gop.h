@@ -1,0 +1,40 @@
+// Group-of-pictures timing (paper Section III-E).
+//
+// Real-time constraint: each GOP must be delivered within the next T time
+// slots; overdue packets are discarded. GopClock tracks where in the
+// delivery window the current slot falls and when the per-GOP quality
+// accumulator must be reset.
+#pragma once
+
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace femtocr::video {
+
+/// Slot-level clock over consecutive GOP delivery windows of length T.
+class GopClock {
+ public:
+  explicit GopClock(std::size_t deadline_slots) : deadline_(deadline_slots) {
+    FEMTOCR_CHECK(deadline_slots > 0, "GOP deadline must be positive");
+  }
+
+  std::size_t deadline() const { return deadline_; }
+
+  /// GOP index containing slot t (0-based).
+  std::size_t gop_of(std::size_t t) const { return t / deadline_; }
+
+  /// Position of slot t inside its window, in [0, T).
+  std::size_t offset(std::size_t t) const { return t % deadline_; }
+
+  /// True when slot t is the first slot of a GOP window (accumulator reset).
+  bool starts_gop(std::size_t t) const { return offset(t) == 0; }
+
+  /// True when slot t is the last slot of a GOP window (quality readout).
+  bool ends_gop(std::size_t t) const { return offset(t) == deadline_ - 1; }
+
+ private:
+  std::size_t deadline_;
+};
+
+}  // namespace femtocr::video

@@ -1,0 +1,47 @@
+// H.264/SVC medium-grain-scalability (MGS) rate-distortion model
+// (paper Section III-E, Eq. 9).
+//
+// The paper models reconstructed quality as average luma PSNR linear in the
+// received rate:  W(R) = alpha + beta * R  [dB, R in Mbps], with (alpha,
+// beta) per sequence/codec. The original evaluation drove this model from
+// JSVM 9.13 encodings of the CIF sequences Bus, Mobile and Harbor; we ship a
+// catalogue of (alpha, beta) pairs calibrated so that operating points land
+// in the paper's reported 32–45 dB range at the simulated rates (see
+// DESIGN.md §3 "Substitutions"). The optimization and all algorithms only
+// interact with video through this linear model, exactly as in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace femtocr::video {
+
+/// Linear MGS rate-quality model for one encoded sequence.
+struct MgsVideo {
+  std::string name;     ///< sequence identifier, e.g. "Bus"
+  double alpha = 30.0;  ///< base-layer PSNR in dB (rate -> 0 intercept)
+  double beta = 20.0;   ///< PSNR slope in dB per Mbps of MGS enhancement
+  double max_rate = 2.0;  ///< rate beyond which enhancement saturates (Mbps)
+
+  void validate() const;
+
+  /// W(R) = alpha + beta * min(R, max_rate); R in Mbps, result in dB.
+  double psnr(double rate_mbps) const;
+
+  /// Inverse model: the rate needed to reach a target PSNR (clamped to
+  /// [0, max_rate]); useful for rate-budget planning in examples.
+  double rate_for_psnr(double target_db) const;
+};
+
+/// The three CIF sequences the paper streams (Bus, Mobile, Harbor) plus a
+/// few extras for larger scenarios. Parameters are calibrated per DESIGN.md:
+/// alpha = base-layer quality, beta = MGS slope; harder-to-code sequences
+/// (Mobile) get lower alpha and steeper beta, consistent with SVC
+/// measurements in Wien et al. 2007.
+const std::vector<MgsVideo>& standard_catalogue();
+
+/// Looks up a sequence by name in the standard catalogue; throws
+/// std::logic_error if absent.
+const MgsVideo& sequence(const std::string& name);
+
+}  // namespace femtocr::video

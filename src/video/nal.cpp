@@ -1,0 +1,54 @@
+#include "video/nal.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace femtocr::video {
+
+std::size_t PacketizedGop::total_bits() const {
+  std::size_t bits = 0;
+  for (const auto& u : units) bits += u.size_bits;
+  return bits;
+}
+
+double PacketizedGop::total_rate_mbps() const {
+  double rate = 0.0;
+  for (const auto& u : units) rate += u.rate_mbps;
+  return rate;
+}
+
+GopPacketizer::GopPacketizer(MgsVideo video, double gop_seconds,
+                             std::size_t unit_bits)
+    : video_(std::move(video)),
+      gop_seconds_(gop_seconds),
+      unit_bits_(unit_bits) {
+  video_.validate();
+  FEMTOCR_CHECK(gop_seconds_ > 0.0, "GOP duration must be positive");
+  FEMTOCR_CHECK(unit_bits_ > 0, "unit size must be positive");
+}
+
+std::size_t GopPacketizer::enhancement_bits() const {
+  return static_cast<std::size_t>(
+      std::llround(video_.max_rate * 1e6 * gop_seconds_));
+}
+
+PacketizedGop GopPacketizer::packetize() const {
+  PacketizedGop gop;
+  std::size_t remaining = enhancement_bits();
+  std::size_t id = 0;
+  while (remaining > 0) {
+    NalUnit unit;
+    unit.id = id++;
+    unit.size_bits = remaining >= unit_bits_ ? unit_bits_ : remaining;
+    // Rate contribution: this unit's share of the enhancement, expressed
+    // as Mbps over the GOP's play-out duration.
+    unit.rate_mbps =
+        static_cast<double>(unit.size_bits) / 1e6 / gop_seconds_;
+    remaining -= unit.size_bits;
+    gop.units.push_back(unit);
+  }
+  return gop;
+}
+
+}  // namespace femtocr::video

@@ -1,0 +1,63 @@
+// NAL-unit-level packetization of an MGS stream (paper Section III-E).
+//
+// H.264/SVC MGS provides NAL-unit granularity: the enhancement of each GOP
+// is a sequence of units in decreasing order of significance for the
+// reconstructed quality. The paper transmits "video packets ... in the
+// decreasing order of their significances ..., with retransmissions if
+// necessary. Overdue packets will be discarded." This header models that
+// unit structure; video/packet_stream.h adds the per-slot transmission
+// state machine.
+//
+// The base layer (quality alpha) is assumed delivered out of band, exactly
+// as the fluid model assumes W^0 = alpha; packets here carry enhancement
+// only, each contributing an equal slice of the stream's enhancement rate
+// when decoded before the GOP deadline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "video/mgs_model.h"
+
+namespace femtocr::video {
+
+/// One MGS enhancement NAL unit of a GOP.
+struct NalUnit {
+  std::size_t id = 0;          ///< significance rank within the GOP (0 first)
+  std::size_t size_bits = 0;   ///< payload size
+  double rate_mbps = 0.0;      ///< enhancement rate this unit contributes
+};
+
+/// The enhancement units of one GOP, significance-ordered.
+struct PacketizedGop {
+  std::vector<NalUnit> units;
+
+  std::size_t total_bits() const;
+  double total_rate_mbps() const;
+};
+
+/// Splits a sequence's per-GOP enhancement budget into fixed-size units.
+/// `gop_seconds` is the GOP's play-out duration; the last unit absorbs the
+/// remainder so the packetization is exact.
+class GopPacketizer {
+ public:
+  GopPacketizer(MgsVideo video, double gop_seconds,
+                std::size_t unit_bits = 12000);  // ~1500-byte RTP packets
+
+  /// The (identical) unit layout of every GOP of this stream.
+  PacketizedGop packetize() const;
+
+  const MgsVideo& video() const { return video_; }
+  double gop_seconds() const { return gop_seconds_; }
+  std::size_t unit_bits() const { return unit_bits_; }
+
+  /// Total enhancement bits per GOP: max_rate * gop_seconds.
+  std::size_t enhancement_bits() const;
+
+ private:
+  MgsVideo video_;
+  double gop_seconds_;
+  std::size_t unit_bits_;
+};
+
+}  // namespace femtocr::video

@@ -1,0 +1,60 @@
+#include "video/packet_stream.h"
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace femtocr::video {
+
+PacketStream::PacketStream(MgsVideo video, GopClock clock, double gop_seconds,
+                           std::size_t unit_bits)
+    : packetizer_(std::move(video), gop_seconds, unit_bits),
+      clock_(clock),
+      queue_(packetizer_.packetize()) {}
+
+void PacketStream::begin_slot(std::size_t t) {
+  if (clock_.starts_gop(t)) {
+    // Overdue units of the previous window are discarded; the new GOP's
+    // units arrive (the source is never the bottleneck per Section III-E).
+    queue_ = packetizer_.packetize();
+    next_ = 0;
+    delivered_rate_ = 0.0;
+  }
+}
+
+std::size_t PacketStream::transmit(std::size_t capacity_bits, bool decoded) {
+  std::size_t consumed = 0;
+  while (next_ < queue_.units.size()) {
+    const NalUnit& unit = queue_.units[next_];
+    if (consumed + unit.size_bits > capacity_bits) break;
+    consumed += unit.size_bits;
+    if (decoded) {
+      delivered_rate_ += unit.rate_mbps;
+      ++next_;
+    } else {
+      // Block fading: the whole slot fails; stop burning airtime on a dead
+      // slot beyond the first loss (the sender learns from the missing ACK
+      // at the slot's end, so in-slot it would keep sending — we model the
+      // full capacity as consumed below).
+      consumed = capacity_bits;
+      break;
+    }
+  }
+  return consumed;
+}
+
+void PacketStream::end_slot(std::size_t t) {
+  if (clock_.ends_gop(t)) history_.push_back(current_psnr());
+}
+
+double PacketStream::current_psnr() const {
+  return packetizer_.video().psnr(delivered_rate_);
+}
+
+std::size_t PacketStream::delivered_units() const { return next_; }
+
+double PacketStream::mean_gop_psnr() const {
+  if (history_.empty()) return packetizer_.video().alpha;
+  return util::mean_of(history_);
+}
+
+}  // namespace femtocr::video

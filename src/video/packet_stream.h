@@ -1,0 +1,64 @@
+// Packet-level streaming state machine (paper Section III-E).
+//
+// Within each GOP window the enhancement NAL units are transmitted in
+// significance order. A slot offers the user some link capacity (bits);
+// units are sent head-first until it is exhausted. Under block fading the
+// whole slot either decodes or not: on failure the airtime is wasted and
+// the units stay queued for retransmission; at the GOP deadline undelivered
+// units are discarded and the queue refills for the next GOP. Reconstructed
+// quality is alpha + beta * (delivered enhancement rate), consistent with
+// the fluid model — the packet model adds quantization, head-of-line
+// blocking and retransmission waste.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "video/gop.h"
+#include "video/nal.h"
+
+namespace femtocr::video {
+
+class PacketStream {
+ public:
+  PacketStream(MgsVideo video, GopClock clock, double gop_seconds,
+               std::size_t unit_bits = 12000);
+
+  /// Must be called at the start of every slot; refills the unit queue at
+  /// GOP boundaries (discarding anything left over — the overdue rule).
+  void begin_slot(std::size_t t);
+
+  /// Transmits units head-first within `capacity_bits`. `decoded` is the
+  /// slot's block-fading outcome (xi): when false the consumed airtime
+  /// delivers nothing and the units remain queued. A unit is only sent if
+  /// it fits entirely in the remaining capacity (no fragmentation).
+  /// Returns the number of bits of airtime consumed.
+  std::size_t transmit(std::size_t capacity_bits, bool decoded);
+
+  /// Must be called at the end of every slot; records the GOP quality when
+  /// the window closes.
+  void end_slot(std::size_t t);
+
+  /// Quality if the GOP ended now: alpha + beta * delivered rate.
+  double current_psnr() const;
+
+  /// Units still queued in the current window.
+  std::size_t backlog() const { return queue_.units.size() - next_; }
+  /// Units delivered in the current window.
+  std::size_t delivered_units() const;
+
+  const std::vector<double>& gop_history() const { return history_; }
+  double mean_gop_psnr() const;
+
+  const GopPacketizer& packetizer() const { return packetizer_; }
+
+ private:
+  GopPacketizer packetizer_;
+  GopClock clock_;
+  PacketizedGop queue_;        ///< this GOP's units (significance order)
+  std::size_t next_ = 0;       ///< index of the first undelivered unit
+  double delivered_rate_ = 0;  ///< Mbps of enhancement decoded this GOP
+  std::vector<double> history_;
+};
+
+}  // namespace femtocr::video

@@ -1,0 +1,41 @@
+#include "video/session.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace femtocr::video {
+
+VideoSession::VideoSession(MgsVideo video, GopClock clock)
+    : video_(std::move(video)),
+      clock_(clock),
+      psnr_(video_.alpha),
+      max_psnr_(video_.alpha + video_.beta * video_.max_rate) {
+  video_.validate();
+}
+
+double VideoSession::rate_constant(double bandwidth_mbps) const {
+  FEMTOCR_CHECK(bandwidth_mbps >= 0.0, "bandwidth must be nonnegative");
+  return video_.beta * bandwidth_mbps / static_cast<double>(clock_.deadline());
+}
+
+void VideoSession::begin_slot(std::size_t t) {
+  if (clock_.starts_gop(t)) psnr_ = video_.alpha;
+}
+
+void VideoSession::deliver(double psnr_increment) {
+  FEMTOCR_CHECK(psnr_increment >= 0.0, "PSNR increments are nonnegative");
+  psnr_ = std::min(psnr_ + psnr_increment, max_psnr_);
+}
+
+void VideoSession::end_slot(std::size_t t) {
+  if (clock_.ends_gop(t)) history_.push_back(psnr_);
+}
+
+double VideoSession::mean_gop_psnr() const {
+  if (history_.empty()) return video_.alpha;
+  return util::mean_of(history_);
+}
+
+}  // namespace femtocr::video

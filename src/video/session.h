@@ -1,0 +1,61 @@
+// Per-user video session state (paper Section IV-A state variables).
+//
+// Within one GOP delivery window the reconstructed quality of user j starts
+// at the base-layer PSNR alpha_j (W^0_j = alpha_j) and accumulates
+//     W^t_j = W^{t-1}_j + xi_0 * rho_0 * R_0j + xi_i * rho_i * G_t * R_ij,
+// where R_0j = beta_j * B0 / T and R_ij = beta_j * B1 / T convert slot
+// fractions into PSNR increments. At the GOP deadline the final W^T_j is the
+// delivered quality for that GOP; the window then resets. VideoSession owns
+// this bookkeeping and the per-GOP quality history.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "video/gop.h"
+#include "video/mgs_model.h"
+
+namespace femtocr::video {
+
+class VideoSession {
+ public:
+  VideoSession(MgsVideo video, GopClock clock);
+
+  const MgsVideo& video() const { return video_; }
+  const GopClock& clock() const { return clock_; }
+
+  /// R_{0,j} = beta_j * B0 / T — PSNR gain per full slot on the common
+  /// channel of bandwidth `b0_mbps`.
+  double rate_constant(double bandwidth_mbps) const;
+
+  /// Must be called at the start of every slot; resets the accumulator to
+  /// alpha_j at GOP boundaries.
+  void begin_slot(std::size_t t);
+
+  /// Adds a realized PSNR increment for this slot (already scaled by the
+  /// slot share, expected channels and loss realization). Saturates at the
+  /// sequence's maximum quality alpha + beta * max_rate.
+  void deliver(double psnr_increment);
+
+  /// Must be called at the end of every slot; records the GOP quality when
+  /// the window closes.
+  void end_slot(std::size_t t);
+
+  /// W at the current point in time (dB).
+  double current_psnr() const { return psnr_; }
+
+  /// Final W^T of every completed GOP, in order.
+  const std::vector<double>& gop_history() const { return history_; }
+
+  /// Mean delivered quality over all completed GOPs (alpha if none).
+  double mean_gop_psnr() const;
+
+ private:
+  MgsVideo video_;
+  GopClock clock_;
+  double psnr_;
+  double max_psnr_;
+  std::vector<double> history_;
+};
+
+}  // namespace femtocr::video

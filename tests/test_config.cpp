@@ -1,0 +1,152 @@
+// Tests for the CLI argument parser and the scenario config format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config_io.h"
+#include "util/args.h"
+
+namespace femtocr {
+namespace {
+
+// ---------------------------------------------------------------- Args ----
+
+util::Args make_args(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return util::Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, KeyValueAndFlagForms) {
+  const auto args = make_args({"--runs=10", "--eta=0.4", "--per-user"});
+  EXPECT_EQ(args.get("runs", std::int64_t{0}), 10);
+  EXPECT_DOUBLE_EQ(args.get("eta", 0.0), 0.4);
+  EXPECT_TRUE(args.get("per-user", false));
+  EXPECT_FALSE(args.get("absent", false));
+  EXPECT_EQ(args.get("name", std::string("dflt")), "dflt");
+}
+
+TEST(Args, HasAndUnconsumed) {
+  const auto args = make_args({"--a=1", "--b=2"});
+  EXPECT_TRUE(args.has("a"));
+  EXPECT_FALSE(args.has("c"));
+  const auto leftovers = args.unconsumed();
+  ASSERT_EQ(leftovers.size(), 1u);
+  EXPECT_EQ(leftovers[0], "b");
+}
+
+TEST(Args, TypeErrors) {
+  const auto args = make_args({"--n=abc", "--f=1.5x", "--b=maybe"});
+  EXPECT_THROW(args.get("n", std::int64_t{0}), std::logic_error);
+  EXPECT_THROW(args.get("f", 0.0), std::logic_error);
+  EXPECT_THROW(args.get("b", false), std::logic_error);
+}
+
+TEST(Args, MalformedTokens) {
+  const char* argv1[] = {"prog", "runs=10"};
+  EXPECT_THROW(util::Args(2, argv1), std::logic_error);
+  const char* argv2[] = {"prog", "--"};
+  EXPECT_THROW(util::Args(2, argv2), std::logic_error);
+}
+
+TEST(Args, BooleanSpellings) {
+  const auto args = make_args({"--a=yes", "--b=0", "--c=false"});
+  EXPECT_TRUE(args.get("a", false));
+  EXPECT_FALSE(args.get("b", true));
+  EXPECT_FALSE(args.get("c", true));
+}
+
+// ------------------------------------------------------------- Config ----
+
+TEST(ConfigIo, LoadsDefaultsFromBase) {
+  const auto s = sim::load_scenario_string("base = single\n");
+  EXPECT_EQ(s.fbss.size(), 1u);
+  EXPECT_EQ(s.users.size(), 3u);
+  EXPECT_EQ(s.spectrum.num_licensed, 8u);
+}
+
+TEST(ConfigIo, AppliesOverrides) {
+  const auto s = sim::load_scenario_string(
+      "base = interfering\n"
+      "seed = 9\n"
+      "channels = 6\n"
+      "utilization = 0.5   # comment\n"
+      "false_alarm = 0.2\n"
+      "miss_detection = 0.48\n"
+      "common_bandwidth = 0.4\n"
+      "gop_deadline = 8\n"
+      "num_gops = 5\n"
+      "users_per_fbs = 2\n"
+      "accounting = realized\n"
+      "delivery = packet\n");
+  EXPECT_EQ(s.fbss.size(), 3u);
+  EXPECT_EQ(s.spectrum.num_licensed, 6u);
+  EXPECT_NEAR(s.spectrum.occupancy.utilization(), 0.5, 1e-12);
+  EXPECT_NEAR(s.spectrum.fbs_sensor.false_alarm, 0.2, 1e-12);
+  EXPECT_NEAR(s.spectrum.fbs_sensor.miss_detection, 0.48, 1e-12);
+  EXPECT_NEAR(s.common_bandwidth, 0.4, 1e-12);
+  EXPECT_EQ(s.gop_deadline, 8u);
+  EXPECT_EQ(s.num_gops, 5u);
+  EXPECT_EQ(s.users.size(), 6u);  // 2 per FBS
+  EXPECT_EQ(s.accounting, sim::Accounting::kRealized);
+  EXPECT_EQ(s.delivery, sim::DeliveryModel::kPacket);
+}
+
+TEST(ConfigIo, MobilityAndSensingKnobs) {
+  const auto s = sim::load_scenario_string(
+      "mobility_stddev = 2.5\n"
+      "sensing_assignment = uncertainty_first\n");
+  EXPECT_DOUBLE_EQ(s.mobility.step_stddev, 2.5);
+  EXPECT_EQ(s.spectrum.assignment,
+            spectrum::SensingAssignment::kUncertaintyFirst);
+  EXPECT_THROW(sim::load_scenario_string("sensing_assignment = psychic\n"),
+               std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("mobility_stddev = -1\n"),
+               std::logic_error);
+}
+
+TEST(ConfigIo, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(sim::load_scenario_string("base = single\ntypo_key = 3\n"),
+               std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("base = mars\n"), std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("channels = many\n"),
+               std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("accounting = maybe\n"),
+               std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("not a key value line\n"),
+               std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("seed = 1\nseed = 2\n"),
+               std::logic_error);
+}
+
+TEST(ConfigIo, SaveLoadRoundTrip) {
+  sim::Scenario original = sim::interfering_scenario(4);
+  original.set_utilization(0.6);
+  original.set_sensing_errors(0.24, 0.38);
+  original.common_bandwidth = 0.2;
+  original.num_gops = 7;
+  original.delivery = sim::DeliveryModel::kPacket;
+  original.finalize();
+
+  std::ostringstream out;
+  sim::save_scenario(out, original, "interfering", 3);
+  const sim::Scenario loaded = sim::load_scenario_string(out.str());
+
+  EXPECT_EQ(loaded.fbss.size(), original.fbss.size());
+  EXPECT_EQ(loaded.users.size(), original.users.size());
+  EXPECT_NEAR(loaded.spectrum.occupancy.utilization(),
+              original.spectrum.occupancy.utilization(), 1e-6);
+  EXPECT_NEAR(loaded.spectrum.user_sensor.false_alarm, 0.24, 1e-6);
+  EXPECT_NEAR(loaded.common_bandwidth, 0.2, 1e-6);
+  EXPECT_EQ(loaded.num_gops, 7u);
+  EXPECT_EQ(loaded.delivery, sim::DeliveryModel::kPacket);
+}
+
+TEST(ConfigIo, EmptyConfigIsTheSingleBaseline) {
+  const auto s = sim::load_scenario_string("");
+  EXPECT_EQ(s.fbss.size(), 1u);
+  EXPECT_EQ(s.name, "single-fbs");
+}
+
+}  // namespace
+}  // namespace femtocr

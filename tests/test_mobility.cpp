@@ -1,0 +1,119 @@
+// Tests for user mobility, handoff, and heterogeneous primary occupancy.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+#include "spectrum/spectrum_manager.h"
+
+namespace femtocr::sim {
+namespace {
+
+TEST(Mobility, DisabledByDefault) {
+  const Scenario s = interfering_scenario();
+  EXPECT_DOUBLE_EQ(s.mobility.step_stddev, 0.0);
+}
+
+TEST(Mobility, RunsAndStaysDeterministic) {
+  Scenario s = interfering_scenario(7);
+  s.num_gops = 4;
+  s.mobility.step_stddev = 3.0;
+  const RunResult a = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  const RunResult b = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  EXPECT_EQ(a.user_mean_psnr, b.user_mean_psnr);
+}
+
+TEST(Mobility, ChangesOutcomesVersusStatic) {
+  Scenario s = interfering_scenario(7);
+  s.num_gops = 6;
+  const RunResult fixed = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  s.mobility.step_stddev = 4.0;
+  const RunResult moving = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  EXPECT_NE(fixed.mean_psnr, moving.mean_psnr);
+}
+
+TEST(Mobility, QualityStaysInModelRangeUnderHeavyMovement) {
+  Scenario s = interfering_scenario(11);
+  s.num_gops = 6;
+  s.mobility.step_stddev = 10.0;  // aggressive roaming with handoffs
+  for (auto kind : {core::SchemeKind::kProposed,
+                    core::SchemeKind::kHeuristic2}) {
+    const RunResult r = Simulator(s, kind, 0).run();
+    for (double p : r.user_mean_psnr) {
+      EXPECT_GT(p, 25.0);
+      EXPECT_LT(p, 50.0);
+    }
+  }
+}
+
+TEST(Heterogeneous, RampProducesPerChannelUtilizations) {
+  Scenario s = single_fbs_scenario();
+  s.set_utilization_ramp(0.3, 0.7);
+  ASSERT_EQ(s.spectrum.per_channel.size(), 8u);
+  EXPECT_NEAR(s.spectrum.per_channel.front().utilization(), 0.3, 1e-12);
+  EXPECT_NEAR(s.spectrum.per_channel.back().utilization(), 0.7, 1e-12);
+  // Mean preserved at 0.5.
+  double mean = 0.0;
+  for (const auto& p : s.spectrum.per_channel) mean += p.utilization();
+  EXPECT_NEAR(mean / 8.0, 0.5, 1e-12);
+  s.finalize();
+}
+
+TEST(Heterogeneous, SpectrumManagerUsesPerChannelParams) {
+  spectrum::SpectrumConfig cfg;
+  cfg.num_licensed = 2;
+  cfg.per_channel = {spectrum::MarkovParams::from_utilization(0.1),
+                     spectrum::MarkovParams::from_utilization(0.9)};
+  cfg.num_users = 1;
+  cfg.num_fbs = 1;
+  util::Rng rng(3);
+  spectrum::SpectrumManager mgr(cfg, rng);
+  EXPECT_NEAR(mgr.primary().params(0).utilization(), 0.1, 1e-12);
+  EXPECT_NEAR(mgr.primary().params(1).utilization(), 0.9, 1e-12);
+  // The mostly-idle channel is admitted far more often over many slots.
+  std::size_t admitted0 = 0, admitted1 = 0;
+  for (std::size_t t = 0; t < 4000; ++t) {
+    const auto obs = mgr.observe_slot(t, rng);
+    for (std::size_t m : obs.available) {
+      (m == 0 ? admitted0 : admitted1) += 1;
+    }
+  }
+  EXPECT_GT(admitted0, admitted1 * 2);
+}
+
+TEST(Heterogeneous, SetUtilizationClearsARamp) {
+  Scenario s = single_fbs_scenario();
+  s.set_utilization_ramp(0.3, 0.7);
+  ASSERT_FALSE(s.spectrum.per_channel.empty());
+  s.set_utilization(0.5);  // back to a homogeneous band
+  EXPECT_TRUE(s.spectrum.per_channel.empty());
+  EXPECT_NEAR(s.spectrum.occupancy.utilization(), 0.5, 1e-12);
+}
+
+TEST(Heterogeneous, MismatchedPerChannelSizeRejected) {
+  spectrum::SpectrumConfig cfg;
+  cfg.num_licensed = 3;
+  cfg.per_channel = {spectrum::MarkovParams{}};
+  util::Rng rng(1);
+  EXPECT_THROW(spectrum::SpectrumManager(cfg, rng), std::logic_error);
+}
+
+TEST(Heterogeneous, StructureHelpsAtEqualMeanUtilization) {
+  // Same mean busy fraction, more exploitable structure: the admitted
+  // expected channel count should not decrease.
+  Scenario uniform = single_fbs_scenario(19);
+  uniform.num_gops = 15;
+  uniform.set_utilization(0.5);
+  uniform.finalize();
+  Scenario ramp = single_fbs_scenario(19);
+  ramp.num_gops = 15;
+  ramp.set_utilization_ramp(0.15, 0.85);
+  ramp.finalize();
+  const auto u = run_experiment(uniform, core::SchemeKind::kProposed, 5);
+  const auto r = run_experiment(ramp, core::SchemeKind::kProposed, 5);
+  EXPECT_GE(r.avg_expected_channels.mean(),
+            u.avg_expected_channels.mean() - 0.1);
+}
+
+}  // namespace
+}  // namespace femtocr::sim

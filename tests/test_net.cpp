@@ -1,0 +1,197 @@
+// Tests for the network layer: interference graphs (Def. 1, Figs. 2 & 5),
+// topology construction, nearest-FBS association and link derivation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/interference_graph.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace femtocr::net {
+namespace {
+
+// -------------------------------------------------- InterferenceGraph ----
+
+TEST(InterferenceGraph, EmptyGraph) {
+  const InterferenceGraph g(4);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(InterferenceGraph, Fig2Graph) {
+  // Fig. 2: four FBSs, only 3-4 interfere (0-indexed: edge {2,3}).
+  const auto g = InterferenceGraph::from_edges(4, {{2, 3}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.max_degree(), 1u);  // the paper's Dmax = 1 for this network
+}
+
+TEST(InterferenceGraph, Fig5PathGraph) {
+  // Fig. 5: FBS1-FBS2 and FBS2-FBS3 overlap; 1 and 3 do not.
+  const auto g = InterferenceGraph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(InterferenceGraph, FromCoverageMatchesGeometry) {
+  // Disks at 0, 20, 40 with radius 12: neighbors overlap (20 < 24), the
+  // ends do not (40 > 24) — exactly the Fig. 5 construction.
+  std::vector<FemtoBaseStation> fbss = {
+      {0, {0, 0}, 12.0}, {1, {20, 0}, 12.0}, {2, {40, 0}, 12.0}};
+  const auto g = InterferenceGraph::from_coverage(fbss);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(InterferenceGraph, NoSelfLoopsOrDuplicates) {
+  InterferenceGraph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::logic_error);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // duplicate ignored
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_THROW(g.add_edge(0, 3), std::logic_error);
+}
+
+TEST(InterferenceGraph, IndependenceCheck) {
+  const auto g = InterferenceGraph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.is_independent({}));
+  EXPECT_TRUE(g.is_independent({0}));
+  EXPECT_TRUE(g.is_independent({0, 2}));  // ends of the path
+  EXPECT_FALSE(g.is_independent({0, 1}));
+  EXPECT_FALSE(g.is_independent({0, 1, 2}));
+}
+
+TEST(InterferenceGraph, IndependentSetEnumerationPath3) {
+  // Path on 3 vertices: {}, {0}, {1}, {2}, {0,2} -> 5 independent sets.
+  const auto g = InterferenceGraph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto sets = g.independent_sets();
+  EXPECT_EQ(sets.size(), 5u);
+  for (const auto& s : sets) EXPECT_TRUE(g.is_independent(s));
+}
+
+TEST(InterferenceGraph, IndependentSetEnumerationComplete) {
+  // Triangle: only the empty set and singletons -> 4.
+  const auto g = InterferenceGraph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.independent_sets().size(), 4u);
+}
+
+TEST(InterferenceGraph, EnumerationGuard) {
+  const InterferenceGraph g(21);
+  EXPECT_THROW(g.independent_sets(), std::logic_error);
+}
+
+// ----------------------------------------------------------- Topology ----
+
+Topology make_two_cell_topology() {
+  MacroBaseStation mbs{{0, 0}};
+  std::vector<FemtoBaseStation> fbss = {{0, {60, 0}, 15.0},
+                                        {1, {120, 0}, 15.0}};
+  std::vector<CrUser> users;
+  CrUser u1;
+  u1.position = {55, 0};
+  u1.video_name = "Bus";
+  CrUser u2;
+  u2.position = {125, 3};
+  u2.video_name = "Mobile";
+  CrUser u3;
+  u3.position = {63, -4};
+  u3.video_name = "Harbor";
+  users = {u1, u2, u3};
+  return Topology(mbs, fbss, users, RadioConfig{});
+}
+
+TEST(Topology, NearestFbsAssociation) {
+  const Topology t = make_two_cell_topology();
+  EXPECT_EQ(t.user(0).fbs, 0u);
+  EXPECT_EQ(t.user(1).fbs, 1u);
+  EXPECT_EQ(t.user(2).fbs, 0u);
+  EXPECT_EQ(t.users_of(0).size(), 2u);
+  EXPECT_EQ(t.users_of(1).size(), 1u);
+  EXPECT_EQ(t.users_of(1)[0], 1u);
+}
+
+TEST(Topology, LinksPointAtTheRightStations) {
+  const Topology t = make_two_cell_topology();
+  // User 0 at (55,0): 55 m from the MBS, 5 m from FBS 0.
+  EXPECT_NEAR(t.mbs_link(0).distance(), 55.0, 1e-9);
+  EXPECT_NEAR(t.fbs_link(0).distance(), 5.0, 1e-9);
+  // Femto link must be far more reliable at these ranges.
+  EXPECT_LT(t.fbs_link(0).loss_probability(),
+            t.mbs_link(0).loss_probability());
+}
+
+TEST(Topology, CoverageDerivedGraphSeparateCells) {
+  const Topology t = make_two_cell_topology();
+  EXPECT_EQ(t.graph().num_edges(), 0u);  // 60 m apart, radius 15: disjoint
+}
+
+TEST(Topology, ExplicitGraphOverride) {
+  MacroBaseStation mbs{{0, 0}};
+  std::vector<FemtoBaseStation> fbss = {{0, {60, 0}, 15.0},
+                                        {1, {120, 0}, 15.0}};
+  CrUser u;
+  u.position = {60, 1};
+  u.video_name = "Bus";
+  Topology t(mbs, fbss, {u}, RadioConfig{},
+             InterferenceGraph::from_edges(2, {{0, 1}}));
+  EXPECT_EQ(t.graph().num_edges(), 1u);
+}
+
+TEST(Topology, RejectsEmptyDeployments) {
+  MacroBaseStation mbs{{0, 0}};
+  CrUser u;
+  u.position = {1, 1};
+  u.video_name = "Bus";
+  EXPECT_THROW(Topology(mbs, {}, {u}, RadioConfig{}), std::logic_error);
+  EXPECT_THROW(Topology(mbs, {{0, {1, 0}, 5.0}}, {}, RadioConfig{}),
+               std::logic_error);
+}
+
+TEST(Topology, RejectsMismatchedGraph) {
+  MacroBaseStation mbs{{0, 0}};
+  CrUser u;
+  u.position = {1, 1};
+  u.video_name = "Bus";
+  EXPECT_THROW(Topology(mbs, {{0, {1, 0}, 5.0}}, {u}, RadioConfig{},
+                        InterferenceGraph(3)),
+               std::logic_error);
+}
+
+TEST(Topology, ScatterUsersLandInTheirCells) {
+  util::Rng rng(83);
+  std::vector<FemtoBaseStation> fbss = {{0, {60, 0}, 10.0},
+                                        {1, {200, 0}, 10.0}};
+  const auto users =
+      Topology::scatter_users(fbss, 3, {"Bus", "Mobile", "Harbor"}, rng);
+  ASSERT_EQ(users.size(), 6u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_TRUE(fbss[0].coverage().contains(users[k].position));
+    EXPECT_TRUE(fbss[1].coverage().contains(users[3 + k].position));
+  }
+  // Video names cycle through the list.
+  EXPECT_EQ(users[0].video_name, "Bus");
+  EXPECT_EQ(users[4].video_name, "Mobile");
+}
+
+TEST(Topology, UserIdsNormalized) {
+  const Topology t = make_two_cell_topology();
+  for (std::size_t j = 0; j < t.num_users(); ++j) {
+    EXPECT_EQ(t.user(j).id, j);
+  }
+  for (std::size_t i = 0; i < t.num_fbs(); ++i) {
+    EXPECT_EQ(t.fbs(i).id, i);
+  }
+}
+
+}  // namespace
+}  // namespace femtocr::net

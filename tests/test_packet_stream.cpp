@@ -1,0 +1,120 @@
+// Tests for the packet-level streaming substrate: NAL packetization,
+// significance-ordered delivery, retransmission on slot loss, overdue
+// discard, and agreement with the fluid model in the loss-free limit.
+#include <gtest/gtest.h>
+
+#include "video/nal.h"
+#include "video/packet_stream.h"
+
+namespace femtocr::video {
+namespace {
+
+const MgsVideo kClip{"Clip", 30.0, 20.0, 0.48};  // 0.48 Mbps enhancement
+
+// ------------------------------------------------------------- Packetizer
+
+TEST(GopPacketizer, ExactCoverage) {
+  const GopPacketizer p(kClip, 0.5, 12000);  // 240000 bits -> 20 units
+  const PacketizedGop gop = p.packetize();
+  EXPECT_EQ(gop.units.size(), 20u);
+  EXPECT_EQ(gop.total_bits(), p.enhancement_bits());
+  EXPECT_NEAR(gop.total_rate_mbps(), 0.48, 1e-9);
+}
+
+TEST(GopPacketizer, RemainderUnit) {
+  const GopPacketizer p(kClip, 0.5, 100000);  // 240000 bits -> 2x100k + 40k
+  const PacketizedGop gop = p.packetize();
+  ASSERT_EQ(gop.units.size(), 3u);
+  EXPECT_EQ(gop.units[2].size_bits, 40000u);
+  EXPECT_EQ(gop.total_bits(), 240000u);
+}
+
+TEST(GopPacketizer, SignificanceOrder) {
+  const GopPacketizer p(kClip, 0.5, 12000);
+  const PacketizedGop gop = p.packetize();
+  for (std::size_t i = 0; i < gop.units.size(); ++i) {
+    EXPECT_EQ(gop.units[i].id, i);
+    EXPECT_GT(gop.units[i].rate_mbps, 0.0);
+  }
+}
+
+TEST(GopPacketizer, Validation) {
+  EXPECT_THROW(GopPacketizer(kClip, 0.0, 12000), std::logic_error);
+  EXPECT_THROW(GopPacketizer(kClip, 0.5, 0), std::logic_error);
+}
+
+// ----------------------------------------------------------- PacketStream
+
+TEST(PacketStream, LossFreeFullCapacityMatchesFluidCap) {
+  // With enough capacity and no losses the whole enhancement is delivered:
+  // GOP quality = alpha + beta * max_rate, the fluid model's saturation.
+  PacketStream s(kClip, GopClock(4), 0.5, 12000);
+  for (std::size_t t = 0; t < 4; ++t) {
+    s.begin_slot(t);
+    s.transmit(1'000'000, /*decoded=*/true);
+    s.end_slot(t);
+  }
+  ASSERT_EQ(s.gop_history().size(), 1u);
+  EXPECT_NEAR(s.gop_history()[0], 30.0 + 20.0 * 0.48, 1e-9);
+}
+
+TEST(PacketStream, QuantizedDelivery) {
+  PacketStream s(kClip, GopClock(4), 0.5, 12000);
+  s.begin_slot(0);
+  // 30000 bits fit two whole 12000-bit units; no fragmentation.
+  const std::size_t consumed = s.transmit(30000, true);
+  EXPECT_EQ(consumed, 24000u);
+  EXPECT_EQ(s.delivered_units(), 2u);
+  EXPECT_NEAR(s.current_psnr(), 30.0 + 20.0 * (24000.0 / 1e6 / 0.5), 1e-9);
+}
+
+TEST(PacketStream, SlotLossWastesAirtimeAndRetransmits) {
+  PacketStream s(kClip, GopClock(4), 0.5, 12000);
+  s.begin_slot(0);
+  const std::size_t backlog_before = s.backlog();
+  const std::size_t consumed = s.transmit(30000, /*decoded=*/false);
+  EXPECT_EQ(consumed, 30000u);            // airtime burned
+  EXPECT_EQ(s.delivered_units(), 0u);     // nothing decoded
+  EXPECT_EQ(s.backlog(), backlog_before); // units stay queued
+  s.end_slot(0);
+  // Next slot retransmits the same head units successfully.
+  s.begin_slot(1);
+  s.transmit(30000, true);
+  EXPECT_EQ(s.delivered_units(), 2u);
+}
+
+TEST(PacketStream, OverdueUnitsDiscardedAtGopBoundary) {
+  PacketStream s(kClip, GopClock(2), 0.5, 12000);
+  s.begin_slot(0);
+  s.transmit(12000, true);  // deliver 1 of 20 units
+  s.end_slot(0);
+  s.begin_slot(1);
+  s.end_slot(1);  // GOP closes with 19 units overdue
+  ASSERT_EQ(s.gop_history().size(), 1u);
+  EXPECT_NEAR(s.gop_history()[0], 30.0 + 20.0 * (12000.0 / 1e6 / 0.5), 1e-9);
+  // New GOP starts with a full queue and quality back at alpha.
+  s.begin_slot(2);
+  EXPECT_EQ(s.backlog(), 20u);
+  EXPECT_DOUBLE_EQ(s.current_psnr(), 30.0);
+}
+
+TEST(PacketStream, CapacitySmallerThanUnitDeliversNothing) {
+  PacketStream s(kClip, GopClock(4), 0.5, 12000);
+  s.begin_slot(0);
+  EXPECT_EQ(s.transmit(11999, true), 0u);
+  EXPECT_EQ(s.delivered_units(), 0u);
+}
+
+TEST(PacketStream, MeanOverGops) {
+  PacketStream s(kClip, GopClock(1), 0.5, 12000);
+  // GOP 0: everything; GOP 1: nothing.
+  s.begin_slot(0);
+  s.transmit(1'000'000, true);
+  s.end_slot(0);
+  s.begin_slot(1);
+  s.end_slot(1);
+  EXPECT_NEAR(s.mean_gop_psnr(), 0.5 * ((30.0 + 9.6) + 30.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace femtocr::video

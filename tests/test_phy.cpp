@@ -1,0 +1,171 @@
+// Tests for the PHY substrate: geometry, path loss, Rayleigh block fading
+// (Eq. 8) and the link abstraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/fading.h"
+#include "phy/geometry.h"
+#include "phy/link.h"
+#include "phy/pathloss.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace femtocr::phy {
+namespace {
+
+// ----------------------------------------------------------- Geometry ----
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Geometry, DiskContains) {
+  const Disk d{{0, 0}, 10.0};
+  EXPECT_TRUE(d.contains({5, 5}));
+  EXPECT_TRUE(d.contains({10, 0}));  // boundary included
+  EXPECT_FALSE(d.contains({8, 8}));
+}
+
+TEST(Geometry, DiskOverlap) {
+  const Disk a{{0, 0}, 10.0};
+  EXPECT_TRUE(a.overlaps({{15, 0}, 10.0}));   // 15 < 20
+  EXPECT_TRUE(a.overlaps({{20, 0}, 10.0}));   // touching counts
+  EXPECT_FALSE(a.overlaps({{25, 0}, 10.0}));  // 25 > 20
+}
+
+TEST(Geometry, RandomInDiskStaysInside) {
+  util::Rng rng(61);
+  const Disk d{{5, -3}, 7.0};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(d.contains(random_in_disk(d, rng)));
+  }
+}
+
+TEST(Geometry, RandomInDiskIsAreaUniform) {
+  // Half the points should fall within radius R/sqrt(2) (equal areas).
+  util::Rng rng(67);
+  const Disk d{{0, 0}, 10.0};
+  int inner = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (distance(random_in_disk(d, rng), d.center) <= 10.0 / std::sqrt(2.0)) {
+      ++inner;
+    }
+  }
+  EXPECT_NEAR(inner / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(Geometry, LineLayout) {
+  const auto pts = line_layout({10, 5}, 20.0, 3);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].x, 10.0);
+  EXPECT_DOUBLE_EQ(pts[1].x, 30.0);
+  EXPECT_DOUBLE_EQ(pts[2].x, 50.0);
+  for (const auto& p : pts) EXPECT_DOUBLE_EQ(p.y, 5.0);
+}
+
+TEST(Geometry, RandomLayoutBounds) {
+  util::Rng rng(71);
+  for (const auto& p : random_layout(100.0, 50, rng)) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 100.0);
+  }
+}
+
+// ----------------------------------------------------------- Pathloss ----
+
+TEST(PathLoss, ReferencePoint) {
+  const PathLossModel m{1.0, 1000.0, 3.0};
+  EXPECT_DOUBLE_EQ(m.mean_snr(1.0), 1000.0);
+  EXPECT_NEAR(m.mean_snr_db(1.0), 30.0, 1e-9);
+}
+
+TEST(PathLoss, PowerLawDecay) {
+  const PathLossModel m{1.0, 1000.0, 3.0};
+  EXPECT_NEAR(m.mean_snr(10.0), 1.0, 1e-9);          // 10^3 attenuation
+  EXPECT_NEAR(m.mean_snr(2.0), 125.0, 1e-9);         // 2^3
+}
+
+TEST(PathLoss, MonotoneDecreasing) {
+  const PathLossModel m{1.0, 5.0e7, 3.2};
+  double prev = m.mean_snr(1.0);
+  for (double d = 2.0; d <= 200.0; d += 2.0) {
+    const double cur = m.mean_snr(d);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PathLoss, NearFieldClamp) {
+  const PathLossModel m{1.0, 1000.0, 3.0};
+  EXPECT_DOUBLE_EQ(m.mean_snr(0.1), 1000.0);  // clamped to d0
+  EXPECT_DOUBLE_EQ(m.mean_snr(0.0), 1000.0);
+}
+
+TEST(PathLoss, Validation) {
+  EXPECT_THROW((PathLossModel{0.0, 1000.0, 3.0}.validate()), std::logic_error);
+  EXPECT_THROW((PathLossModel{1.0, -1.0, 3.0}.validate()), std::logic_error);
+  EXPECT_THROW((PathLossModel{1.0, 1000.0, 0.0}.validate()), std::logic_error);
+}
+
+// ------------------------------------------------------------- Fading ----
+
+TEST(Fading, OutageFormula) {
+  // Eq. (8) for exponential SINR: P^F = 1 - exp(-H/mean).
+  EXPECT_NEAR(exponential_outage(10.0, 5.0), 1.0 - std::exp(-0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(exponential_outage(10.0, 0.0), 0.0);
+}
+
+TEST(Fading, OutageMonotoneInThresholdAndMean) {
+  EXPECT_LT(exponential_outage(10.0, 1.0), exponential_outage(10.0, 2.0));
+  EXPECT_GT(exponential_outage(5.0, 3.0), exponential_outage(50.0, 3.0));
+}
+
+TEST(Fading, DrawSuccessFrequencyMatchesFormula) {
+  util::Rng rng(73);
+  const RayleighBlockFading f{20.0, 5.0};
+  int ok = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ok += f.draw_success(rng) ? 1 : 0;
+  EXPECT_NEAR(ok / static_cast<double>(n), f.success_probability(), 0.005);
+}
+
+TEST(Fading, DrawSinrHasConfiguredMean) {
+  util::Rng rng(79);
+  const RayleighBlockFading f{33.0, 5.0};
+  util::RunningStat s;
+  for (int i = 0; i < 50000; ++i) s.add(f.draw_sinr(rng));
+  EXPECT_NEAR(s.mean(), 33.0, 0.5);
+}
+
+TEST(Fading, Validation) {
+  EXPECT_THROW((RayleighBlockFading{0.0, 5.0}.validate()), std::logic_error);
+  EXPECT_THROW((RayleighBlockFading{10.0, -1.0}.validate()), std::logic_error);
+  EXPECT_THROW(exponential_outage(-1.0, 5.0), std::logic_error);
+}
+
+// --------------------------------------------------------------- Link ----
+
+TEST(Link, ComposesPathLossAndFading) {
+  const PathLossModel pl{1.0, 1000.0, 3.0};
+  const Link link({0, 0}, {10, 0}, pl, 0.5);
+  EXPECT_DOUBLE_EQ(link.distance(), 10.0);
+  EXPECT_NEAR(link.mean_snr(), 1.0, 1e-9);
+  EXPECT_NEAR(link.loss_probability(), 1.0 - std::exp(-0.5), 1e-9);
+  EXPECT_NEAR(link.success_probability() + link.loss_probability(), 1.0,
+              1e-12);
+}
+
+TEST(Link, CloserIsBetter) {
+  const PathLossModel pl{1.0, 1.0e5, 3.0};
+  const Link near_link({0, 0}, {5, 0}, pl, 5.0);
+  const Link far_link({0, 0}, {15, 0}, pl, 5.0);
+  EXPECT_LT(near_link.loss_probability(), far_link.loss_probability());
+}
+
+}  // namespace
+}  // namespace femtocr::phy

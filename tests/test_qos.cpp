@@ -1,0 +1,137 @@
+// Tests for the QoS-floor allocator and its Scheme integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/qos.h"
+#include "core/waterfill.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace femtocr::core {
+namespace {
+
+TEST(Qos, NoFloorsReducesToTheUnconstrainedOptimum) {
+  util::Rng rng(1301);
+  auto f = test::random_context(rng, 4, 1, 3);
+  const std::vector<double> gt = {f.ctx.total_expected_channels()};
+  // Floors below every current state are vacuous.
+  const std::vector<double> floors(4, 1.0);
+  const QosPlan plan = qos_solve(f.ctx, gt, floors, 5);
+  EXPECT_TRUE(plan.floors_met);
+  for (double s : plan.floor_shares) EXPECT_DOUBLE_EQ(s, 0.0);
+  const double unconstrained = waterfill_solve(f.ctx, gt).objective;
+  EXPECT_NEAR(plan.allocation.objective, unconstrained, 1e-6);
+}
+
+TEST(Qos, FloorsReserveShares) {
+  util::Rng rng(1303);
+  auto f = test::random_context(rng, 3, 1, 3);
+  const std::vector<double> gt = {f.ctx.total_expected_channels()};
+  // Demand one user ends 2 dB above its state within 4 slots.
+  std::vector<double> floors = {f.ctx.users[0].psnr + 2.0, 1.0, 1.0};
+  const QosPlan plan = qos_solve(f.ctx, gt, floors, 4);
+  EXPECT_GT(plan.floor_shares[0], 0.0);
+  EXPECT_DOUBLE_EQ(plan.floor_shares[1], 0.0);
+  // The reserved share covers the per-slot deficit at the expected rate.
+  const UserState& u = f.ctx.users[0];
+  const double rate = plan.allocation.use_mbs[0]
+                          ? u.success_mbs * u.rate_mbs
+                          : u.success_fbs * u.rate_fbs * gt[0];
+  EXPECT_NEAR(plan.floor_shares[0], (2.0 / 4.0) / rate, 1e-9);
+  // And the user actually holds at least that share.
+  const double held = plan.allocation.use_mbs[0]
+                          ? plan.allocation.rho_mbs[0]
+                          : plan.allocation.rho_fbs[0];
+  EXPECT_GE(held, plan.floor_shares[0] - 1e-9);
+}
+
+TEST(Qos, InfeasibleFloorsAreScaledNotViolated) {
+  util::Rng rng(1307);
+  auto f = test::random_context(rng, 4, 1, 2);
+  const std::vector<double> gt = {f.ctx.total_expected_channels()};
+  // Impossible: everyone +20 dB in one slot.
+  std::vector<double> floors;
+  for (const auto& u : f.ctx.users) floors.push_back(u.psnr + 20.0);
+  const QosPlan plan = qos_solve(f.ctx, gt, floors, 1);
+  EXPECT_FALSE(plan.floors_met);
+  EXPECT_TRUE(plan.allocation.feasible(f.ctx));
+}
+
+TEST(Qos, AllocationIsAlwaysFeasible) {
+  util::Rng rng(1311);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto f = test::random_context(rng, 5, 2, 3);
+    const std::vector<double> gt(2, f.ctx.total_expected_channels());
+    std::vector<double> floors;
+    for (const auto& u : f.ctx.users) {
+      floors.push_back(u.psnr + rng.uniform(0.0, 6.0));
+    }
+    const QosPlan plan = qos_solve(f.ctx, gt, floors, 1 + trial % 5);
+    EXPECT_TRUE(plan.allocation.feasible(f.ctx)) << "trial " << trial;
+  }
+}
+
+TEST(Qos, ObjectiveNeverExceedsUnconstrained) {
+  util::Rng rng(1313);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto f = test::random_context(rng, 4, 1, 3);
+    const std::vector<double> gt = {f.ctx.total_expected_channels()};
+    std::vector<double> floors;
+    for (const auto& u : f.ctx.users) {
+      floors.push_back(u.psnr + rng.uniform(0.0, 3.0));
+    }
+    const QosPlan plan = qos_solve(f.ctx, gt, floors, 3);
+    EXPECT_LE(plan.allocation.objective,
+              waterfill_solve(f.ctx, gt).objective + 1e-6);
+  }
+}
+
+TEST(Qos, TargetedFloorLiftsTheFlaggedUserEndToEnd) {
+  // The deployment-realistic use: guarantee one subscriber; everyone else
+  // shares what is left fairly. The flagged user's delivered quality must
+  // rise relative to the plain proportional-fair run.
+  sim::Scenario s = sim::single_fbs_scenario(77);
+  s.num_gops = 12;
+  auto per_user_of = [&](std::unique_ptr<Scheme> scheme) {
+    sim::Simulator sim(s, std::move(scheme), 0);
+    return sim.run().user_mean_psnr;
+  };
+  const auto plain = per_user_of(std::make_unique<ProposedScheme>());
+  const std::size_t worst = static_cast<std::size_t>(
+      std::min_element(plain.begin(), plain.end()) - plain.begin());
+  std::vector<double> floors(plain.size(), 1.0);  // vacuous for the rest
+  floors[worst] = plain[worst] + 1.5;             // lift the laggard
+  const auto flagged = per_user_of(
+      std::make_unique<QosProposedScheme>(floors, s.gop_deadline));
+  EXPECT_GT(flagged[worst], plain[worst] + 0.3);
+}
+
+TEST(Qos, UniformInfeasibleFloorsRedistributeBestEffort) {
+  // A uniform floor far above the feasible region degenerates to
+  // deficit-proportional best effort: the scheme must keep running, keep
+  // allocations feasible, and report the scaled slots.
+  sim::Scenario s = sim::single_fbs_scenario(77);
+  s.num_gops = 6;
+  auto scheme = std::make_unique<QosProposedScheme>(45.0, s.gop_deadline);
+  auto* raw = scheme.get();
+  sim::Simulator sim(s, std::move(scheme), 0);
+  const sim::RunResult r = sim.run();
+  EXPECT_GT(raw->slots_with_scaled_floors(), 0u);
+  for (double p : r.user_mean_psnr) EXPECT_GT(p, 25.0);
+}
+
+TEST(Qos, Validation) {
+  util::Rng rng(1319);
+  auto f = test::random_context(rng, 2, 1, 2);
+  const std::vector<double> gt = {1.0};
+  EXPECT_THROW(qos_solve(f.ctx, gt, {1.0}, 3), std::logic_error);   // size
+  EXPECT_THROW(qos_solve(f.ctx, gt, {1.0, 1.0}, 0), std::logic_error);
+  EXPECT_THROW(QosProposedScheme(30.0, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace femtocr::core

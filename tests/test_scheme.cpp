@@ -1,0 +1,106 @@
+// Tests for the Scheme dispatch layer: correct algorithm selection per
+// topology, agreement between the fast and distributed solvers inside the
+// Proposed scheme, and factory behaviour.
+#include <gtest/gtest.h>
+
+#include "core/scheme.h"
+#include "core/waterfill.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace femtocr::core {
+namespace {
+
+const std::vector<std::pair<std::size_t, std::size_t>> kPathEdges = {{0, 1},
+                                                                     {1, 2}};
+
+TEST(Scheme, FactoryAndNames) {
+  EXPECT_EQ(make_scheme(SchemeKind::kProposed)->name(), "Proposed");
+  EXPECT_EQ(make_scheme(SchemeKind::kHeuristic1)->name(), "Heuristic1");
+  EXPECT_EQ(make_scheme(SchemeKind::kHeuristic2)->name(), "Heuristic2");
+  EXPECT_STREQ(scheme_name(SchemeKind::kProposed), "Proposed");
+  EXPECT_STREQ(scheme_name(SchemeKind::kHeuristic1), "Heuristic1");
+  EXPECT_STREQ(scheme_name(SchemeKind::kHeuristic2), "Heuristic2");
+}
+
+TEST(Scheme, ProposedNonInterferingIsTheExactOptimum) {
+  util::Rng rng(801);
+  auto f = test::random_context(rng, 5, 2, 3);
+  ProposedScheme scheme;
+  const SlotAllocation a = scheme.allocate(f.ctx);
+  const std::vector<double> gt(2, f.ctx.total_expected_channels());
+  EXPECT_NEAR(a.objective, waterfill_solve(f.ctx, gt).objective, 1e-9);
+  EXPECT_TRUE(a.feasible(f.ctx));
+  // All channels handed to both (non-interfering spatial reuse).
+  EXPECT_EQ(a.channels[0].size(), f.ctx.available.size());
+  EXPECT_EQ(a.channels[1].size(), f.ctx.available.size());
+  // No bound slack on the exact path.
+  EXPECT_DOUBLE_EQ(a.upper_bound, a.objective);
+}
+
+TEST(Scheme, DistributedSolverAgreesWithFastPath) {
+  util::Rng rng(809);
+  auto f = test::random_context(rng, 4, 1, 3);
+  ProposedScheme fast;
+  DualOptions opts;  // tuned defaults
+  ProposedScheme distributed(opts, /*use_distributed_solver=*/true);
+  const SlotAllocation a = fast.allocate(f.ctx);
+  const SlotAllocation b = distributed.allocate(f.ctx);
+  EXPECT_NEAR(a.objective, b.objective, 5e-3 * std::abs(a.objective));
+  EXPECT_GT(b.dual_iterations, 0u);
+  EXPECT_EQ(a.dual_iterations, 0u);
+}
+
+TEST(Scheme, DistributedSolverWarmStartsAcrossSlots) {
+  util::Rng rng(811);
+  auto f = test::random_context(rng, 4, 1, 3);
+  ProposedScheme distributed(DualOptions{}, /*use_distributed_solver=*/true);
+  const SlotAllocation first = distributed.allocate(f.ctx);
+  const SlotAllocation second = distributed.allocate(f.ctx);  // same slot
+  EXPECT_LT(second.dual_iterations, first.dual_iterations / 2 + 10);
+}
+
+TEST(Scheme, ProposedInterferingUsesGreedyAndReportsBound) {
+  util::Rng rng(821);
+  auto f = test::random_context(rng, 6, 3, 3, kPathEdges);
+  ProposedScheme scheme;
+  const SlotAllocation a = scheme.allocate(f.ctx);
+  EXPECT_TRUE(a.feasible(f.ctx));
+  EXPECT_GE(a.upper_bound, a.objective - 1e-9);
+  EXPECT_GE(a.objective, a.objective_empty - 1e-9);
+}
+
+TEST(Scheme, ProposedAndH2ProduceFeasibleAllocations) {
+  // Heuristic 1 is exempt by design: its uncoordinated access violates the
+  // interference constraint on interfering topologies (see heuristics.h).
+  util::Rng rng(823);
+  for (auto kind : {SchemeKind::kProposed, SchemeKind::kHeuristic2}) {
+    auto scheme = make_scheme(kind);
+    for (int trial = 0; trial < 5; ++trial) {
+      auto f = test::random_context(rng, 6, 3, 4, kPathEdges);
+      EXPECT_TRUE(scheme->allocate(f.ctx).feasible(f.ctx))
+          << scheme->name() << " trial " << trial;
+    }
+  }
+}
+
+TEST(Scheme, ProposedObjectiveDominatesHeuristicsInterfering) {
+  // The greedy is near-optimal rather than optimal, so on a rare contended
+  // instance a heuristic's round-robin channel split can edge it out by a
+  // hair; allow that sliver (~0.05% of objective) while requiring dominance
+  // beyond it on every instance.
+  util::Rng rng(827);
+  constexpr double kSliver = 0.02;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto f = test::random_context(rng, 6, 3, 3, kPathEdges);
+    const double proposed =
+        ProposedScheme().allocate(f.ctx).objective;
+    EXPECT_GE(proposed + kSliver,
+              EqualAllocationScheme().allocate(f.ctx).objective);
+    EXPECT_GE(proposed + kSliver,
+              MultiuserDiversityScheme().allocate(f.ctx).objective);
+  }
+}
+
+}  // namespace
+}  // namespace femtocr::core

@@ -1,0 +1,171 @@
+// Integration tests: the end-to-end simulator on the paper's two scenarios,
+// determinism, accounting modes, and experiment aggregation.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+#include "video/mgs_model.h"
+
+namespace femtocr::sim {
+namespace {
+
+Scenario small_single() {
+  Scenario s = single_fbs_scenario(7);
+  s.num_gops = 4;  // keep integration tests quick
+  return s;
+}
+
+Scenario small_interfering() {
+  Scenario s = interfering_scenario(7);
+  s.num_gops = 2;
+  return s;
+}
+
+TEST(Scenario, SingleFbsMatchesThePaperParameters) {
+  const Scenario s = single_fbs_scenario();
+  EXPECT_EQ(s.spectrum.num_licensed, 8u);
+  EXPECT_NEAR(s.spectrum.occupancy.p01, 0.4, 1e-12);
+  EXPECT_NEAR(s.spectrum.occupancy.p10, 0.3, 1e-12);
+  EXPECT_NEAR(s.spectrum.gamma, 0.2, 1e-12);
+  EXPECT_NEAR(s.spectrum.user_sensor.false_alarm, 0.3, 1e-12);
+  EXPECT_NEAR(s.spectrum.user_sensor.miss_detection, 0.3, 1e-12);
+  EXPECT_EQ(s.gop_deadline, 10u);
+  EXPECT_EQ(s.fbss.size(), 1u);
+  ASSERT_EQ(s.users.size(), 3u);
+  EXPECT_EQ(s.users[0].video_name, "Bus");
+  EXPECT_EQ(s.users[1].video_name, "Mobile");
+  EXPECT_EQ(s.users[2].video_name, "Harbor");
+  EXPECT_NEAR(s.common_bandwidth, 0.3, 1e-12);
+  EXPECT_NEAR(s.licensed_bandwidth, 0.3, 1e-12);
+}
+
+TEST(Scenario, InterferingBuildsTheFig5PathGraph) {
+  const Scenario s = interfering_scenario();
+  EXPECT_EQ(s.fbss.size(), 3u);
+  EXPECT_EQ(s.users.size(), 9u);
+  const auto g = net::InterferenceGraph::from_coverage(s.fbss);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Scenario, KnobsApplyCleanly) {
+  Scenario s = single_fbs_scenario();
+  s.set_utilization(0.3);
+  EXPECT_NEAR(s.spectrum.occupancy.utilization(), 0.3, 1e-12);
+  EXPECT_NEAR(s.spectrum.occupancy.p01 + s.spectrum.occupancy.p10, 0.7,
+              1e-12);
+  s.set_sensing_errors(0.24, 0.38);
+  EXPECT_NEAR(s.spectrum.fbs_sensor.false_alarm, 0.24, 1e-12);
+  EXPECT_NEAR(s.spectrum.fbs_sensor.miss_detection, 0.38, 1e-12);
+  EXPECT_THROW(s.set_sensing_errors(1.2, 0.3), std::logic_error);
+}
+
+TEST(Scenario, FinalizeRejectsUnknownVideos) {
+  Scenario s = single_fbs_scenario();
+  s.users[0].video_name = "NoSuchClip";
+  EXPECT_THROW(s.finalize(), std::logic_error);
+}
+
+TEST(Simulator, DeterministicGivenSeedAndRunIndex) {
+  const Scenario s = small_single();
+  const RunResult a = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  const RunResult b = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  EXPECT_EQ(a.user_mean_psnr, b.user_mean_psnr);
+  EXPECT_EQ(a.collision_rate, b.collision_rate);
+}
+
+TEST(Simulator, RunIndexDecorrelatesRuns) {
+  const Scenario s = small_single();
+  const RunResult a = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  const RunResult b = Simulator(s, core::SchemeKind::kProposed, 1).run();
+  EXPECT_NE(a.mean_psnr, b.mean_psnr);
+}
+
+TEST(Simulator, DeliveredQualityStaysInModelRange) {
+  const Scenario s = small_single();
+  for (auto kind : {core::SchemeKind::kProposed, core::SchemeKind::kHeuristic1,
+                    core::SchemeKind::kHeuristic2}) {
+    const RunResult r = Simulator(s, kind, 0).run();
+    ASSERT_EQ(r.user_mean_psnr.size(), 3u);
+    for (std::size_t j = 0; j < 3; ++j) {
+      const auto& v = video::sequence(s.users[j].video_name);
+      EXPECT_GE(r.user_mean_psnr[j], v.alpha - 1e-9);
+      EXPECT_LE(r.user_mean_psnr[j], v.alpha + v.beta * v.max_rate + 1e-9);
+    }
+  }
+}
+
+TEST(Simulator, SlotAndChannelAccounting) {
+  const Scenario s = small_single();
+  const RunResult r = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  EXPECT_EQ(r.slots, s.gop_deadline * s.num_gops);
+  EXPECT_GE(r.avg_available, 0.0);
+  EXPECT_LE(r.avg_available, static_cast<double>(s.spectrum.num_licensed));
+  EXPECT_LE(r.avg_expected_channels, r.avg_available + 1e-9);
+  EXPECT_GE(r.collision_rate, 0.0);
+  EXPECT_LE(r.collision_rate, 1.0);
+}
+
+TEST(Simulator, RealizedAccountingIsUnbiased) {
+  // G_t = sum of availability posteriors is the exact conditional mean of
+  // the truly-idle channel count (the fusion is calibrated Bayes), so
+  // collision-aware accounting changes the variance of what is delivered,
+  // not its mean: both accountings land within a fraction of a dB.
+  Scenario s = small_single();
+  s.num_gops = 25;
+  const RunResult expected = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  s.accounting = Accounting::kRealized;
+  const RunResult realized = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  EXPECT_NEAR(realized.mean_psnr, expected.mean_psnr, 0.5);
+}
+
+TEST(Simulator, BoundTrajectoryDominatesInterfering) {
+  const Scenario s = small_interfering();
+  const RunResult r = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  EXPECT_GE(r.mean_bound_psnr, r.mean_psnr - 1e-9);
+}
+
+TEST(Simulator, BoundCollapsesWhenExact) {
+  // Single FBS: the allocation is exact, so the bound trajectory must
+  // coincide with the delivered one.
+  const Scenario s = small_single();
+  const RunResult r = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  EXPECT_NEAR(r.mean_bound_psnr, r.mean_psnr, 1e-9);
+}
+
+TEST(Experiment, AggregatesAcrossRuns) {
+  const Scenario s = small_single();
+  const SchemeSummary sum =
+      run_experiment(s, core::SchemeKind::kHeuristic1, 5);
+  EXPECT_EQ(sum.runs, 5u);
+  EXPECT_EQ(sum.mean_psnr.count(), 5u);
+  ASSERT_EQ(sum.per_user.size(), 3u);
+  for (const auto& u : sum.per_user) EXPECT_EQ(u.count(), 5u);
+  EXPECT_GT(util::confidence_interval95(sum.mean_psnr), 0.0);
+}
+
+TEST(Experiment, RunAllSchemesKeepsOrder) {
+  const Scenario s = small_single();
+  const auto all = run_all_schemes(s, 2);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].kind, core::SchemeKind::kProposed);
+  EXPECT_EQ(all[1].kind, core::SchemeKind::kHeuristic1);
+  EXPECT_EQ(all[2].kind, core::SchemeKind::kHeuristic2);
+}
+
+TEST(Experiment, ProposedWinsOnAverage) {
+  // The headline comparison of the paper, as an integration-level assert:
+  // the proposed scheme's average delivered PSNR beats both heuristics on
+  // the single-FBS scenario.
+  Scenario s = single_fbs_scenario(3);
+  s.num_gops = 10;
+  const auto all = run_all_schemes(s, 5);
+  EXPECT_GT(all[0].mean_psnr.mean(), all[1].mean_psnr.mean());
+  EXPECT_GT(all[0].mean_psnr.mean(), all[2].mean_psnr.mean());
+}
+
+}  // namespace
+}  // namespace femtocr::sim

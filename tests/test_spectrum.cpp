@@ -1,0 +1,330 @@
+// Tests for the spectrum substrate: Markov occupancy chains (Eq. 1),
+// Bayesian sensing fusion (Eqs. 2-4), opportunistic access under the
+// collision constraint (Eqs. 5-7), and the per-slot orchestration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spectrum/access.h"
+#include "spectrum/markov_channel.h"
+#include "spectrum/sensing.h"
+#include "spectrum/spectrum_manager.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace femtocr::spectrum {
+namespace {
+
+// ------------------------------------------------------------- Markov ----
+
+TEST(MarkovParams, UtilizationFormula) {
+  MarkovParams p{0.4, 0.3};
+  EXPECT_NEAR(p.utilization(), 0.4 / 0.7, 1e-12);  // Eq. (1)
+}
+
+TEST(MarkovParams, FromUtilizationRoundTrips) {
+  for (double eta : {0.3, 0.4, 0.5, 0.6, 0.7}) {
+    const MarkovParams p = MarkovParams::from_utilization(eta);
+    EXPECT_NEAR(p.utilization(), eta, 1e-12);
+    EXPECT_NEAR(p.p01 + p.p10, 0.7, 1e-12);  // default mixing preserved
+  }
+}
+
+TEST(MarkovParams, FromUtilizationRejectsDegenerate) {
+  EXPECT_THROW(MarkovParams::from_utilization(0.0), std::logic_error);
+  EXPECT_THROW(MarkovParams::from_utilization(1.0), std::logic_error);
+  EXPECT_THROW(MarkovParams::from_utilization(0.5, 0.0), std::logic_error);
+}
+
+TEST(MarkovParams, ValidateRejectsBadProbabilities) {
+  EXPECT_THROW((MarkovParams{-0.1, 0.3}.validate()), std::logic_error);
+  EXPECT_THROW((MarkovParams{0.4, 1.2}.validate()), std::logic_error);
+  EXPECT_THROW((MarkovParams{0.0, 0.0}.validate()), std::logic_error);
+}
+
+TEST(MarkovChannel, LongRunOccupancyMatchesUtilization) {
+  util::Rng rng(101);
+  MarkovChannel ch({0.4, 0.3}, ChannelState::kIdle);
+  std::size_t busy = 0;
+  const std::size_t slots = 200000;
+  for (std::size_t t = 0; t < slots; ++t) {
+    if (ch.step(rng) == ChannelState::kBusy) ++busy;
+  }
+  EXPECT_NEAR(static_cast<double>(busy) / slots, 0.4 / 0.7, 0.01);
+}
+
+TEST(MarkovChannel, FrozenTransitionsKeepState) {
+  util::Rng rng(5);
+  MarkovChannel stay_idle({0.0, 1.0}, ChannelState::kIdle);
+  MarkovChannel stay_busy({1.0, 0.0}, ChannelState::kBusy);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(stay_idle.step(rng), ChannelState::kIdle);
+    EXPECT_EQ(stay_busy.step(rng), ChannelState::kBusy);
+  }
+}
+
+TEST(PrimarySpectrum, IndependentChannels) {
+  util::Rng rng(7);
+  PrimarySpectrum spec(8, {0.4, 0.3}, rng);
+  EXPECT_EQ(spec.size(), 8u);
+  spec.step(rng);
+  const auto snap = spec.snapshot();
+  EXPECT_EQ(snap.size(), 8u);
+  for (std::size_t m = 0; m < 8; ++m) {
+    EXPECT_EQ(spec.state(m), snap[m]);
+  }
+}
+
+TEST(PrimarySpectrum, HeterogeneousParams) {
+  util::Rng rng(9);
+  PrimarySpectrum spec({{0.1, 0.9}, {0.9, 0.1}}, rng);
+  EXPECT_NEAR(spec.params(0).utilization(), 0.1, 1e-12);
+  EXPECT_NEAR(spec.params(1).utilization(), 0.9, 1e-12);
+  EXPECT_THROW(spec.params(2), std::logic_error);
+}
+
+// ------------------------------------------------------------ Sensing ----
+
+TEST(Sensing, SensorErrorFrequencies) {
+  util::Rng rng(11);
+  SensorModel s{0.3, 0.2};
+  int false_alarms = 0, misses = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    false_alarms += s.sense(/*busy=*/false, rng);          // reports busy
+    misses += 1 - s.sense(/*busy=*/true, rng);             // reports idle
+  }
+  EXPECT_NEAR(false_alarms / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(misses / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(Sensing, PosteriorWithNoReportsIsPrior) {
+  EXPECT_NEAR(posterior_idle(0.4, {}), 0.6, 1e-12);
+}
+
+TEST(Sensing, SingleReportMatchesEq3) {
+  const SensorModel s{0.3, 0.3};
+  const double eta = 0.4;
+  // Eq. (3), theta = 0: [1 + eta/(1-eta) * delta/(1-eps)]^-1.
+  const double expect_idle =
+      1.0 / (1.0 + (0.4 / 0.6) * (0.3 / 0.7));
+  EXPECT_NEAR(posterior_idle_single(eta, {0, s}), expect_idle, 1e-12);
+  // theta = 1: ratio (1-delta)/eps.
+  const double expect_busy =
+      1.0 / (1.0 + (0.4 / 0.6) * (0.7 / 0.3));
+  EXPECT_NEAR(posterior_idle_single(eta, {1, s}), expect_busy, 1e-12);
+}
+
+TEST(Sensing, IterativeEqualsClosedForm) {
+  // Eq. (4) folded over reports must equal Eq. (2) computed in one shot.
+  const SensorModel s1{0.3, 0.3};
+  const SensorModel s2{0.2, 0.45};
+  const std::vector<SensingReport> reports = {
+      {1, s1}, {0, s2}, {0, s1}, {1, s2}, {0, s1}};
+  const double eta = 0.55;
+  double iterative = posterior_idle_single(eta, reports[0]);
+  for (std::size_t l = 1; l < reports.size(); ++l) {
+    iterative = posterior_idle_update(iterative, reports[l]);
+  }
+  EXPECT_NEAR(iterative, posterior_idle(eta, reports), 1e-12);
+}
+
+TEST(Sensing, MoreIdleReportsRaiseConfidence) {
+  const SensorModel s{0.3, 0.3};
+  double prev = 0.4;  // prior idle probability (eta = 0.6)
+  for (int l = 0; l < 6; ++l) {
+    const double next = posterior_idle_update(std::max(prev, 1e-9), {0, s});
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+  EXPECT_GT(prev, 0.9);
+}
+
+TEST(Sensing, PerfectSensorIsDecisive) {
+  const SensorModel perfect{0.0, 0.0};
+  EXPECT_NEAR(posterior_idle(0.5, perfect, {0}), 1.0, 1e-9);
+  EXPECT_NEAR(posterior_idle(0.5, perfect, {1}), 0.0, 1e-9);
+}
+
+TEST(Sensing, UselessSensorLeavesPrior) {
+  // eps = 1 - delta makes the likelihood ratio 1: no information.
+  const SensorModel coin{0.5, 0.5};
+  EXPECT_NEAR(posterior_idle(0.3, coin, {0, 1, 0, 1}), 0.7, 1e-12);
+}
+
+TEST(Sensing, PosteriorIsBayesConsistentEmpirically) {
+  // Among slots where the fused posterior is ~p, the channel should be idle
+  // a fraction ~p of the time.
+  util::Rng rng(23);
+  const SensorModel s{0.3, 0.3};
+  const double eta = 0.4;
+  util::RunningStat posterior_when_idle;
+  double sum_posterior = 0.0;
+  std::size_t idle_count = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const bool busy = rng.bernoulli(eta);
+    std::vector<int> thetas = {s.sense(busy, rng), s.sense(busy, rng)};
+    const double p = posterior_idle(eta, s, thetas);
+    sum_posterior += p;
+    if (!busy) ++idle_count;
+  }
+  // E[posterior] must equal P(idle) = 1 - eta (law of total expectation).
+  EXPECT_NEAR(sum_posterior / n, 1.0 - eta, 0.01);
+  EXPECT_NEAR(static_cast<double>(idle_count) / n, 1.0 - eta, 0.01);
+}
+
+TEST(Sensing, RejectsNonBinaryReports) {
+  const SensorModel s{0.3, 0.3};
+  EXPECT_THROW(posterior_idle(0.4, {{2, s}}), std::logic_error);
+  EXPECT_THROW(posterior_idle_single(0.4, {-1, s}), std::logic_error);
+}
+
+// ------------------------------------------------------------- Access ----
+
+TEST(Access, ProbabilityFormula) {
+  // Eq. (7): P^D = min(gamma / (1 - P^A), 1).
+  EXPECT_NEAR(access_probability(0.5, 0.2), 0.4, 1e-12);
+  EXPECT_NEAR(access_probability(0.9, 0.2), 1.0, 1e-12);  // slack constraint
+  EXPECT_NEAR(access_probability(0.0, 0.2), 0.2, 1e-12);
+  EXPECT_NEAR(access_probability(1.0, 0.2), 1.0, 1e-12);
+}
+
+TEST(Access, CollisionConstraintHolds) {
+  // (1 - P^A) * P^D <= gamma for any posterior.
+  for (double pa : {0.0, 0.1, 0.35, 0.7, 0.95, 1.0}) {
+    for (double gamma : {0.05, 0.2, 0.5}) {
+      EXPECT_LE((1.0 - pa) * access_probability(pa, gamma), gamma + 1e-12);
+    }
+  }
+}
+
+TEST(Access, DecideAccessRealizesBernoulli) {
+  util::Rng rng(31);
+  const std::vector<double> posteriors = {0.9, 0.5, 0.1};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const AccessOutcome out = decide_access(posteriors, 0.2, rng);
+    for (int m = 0; m < 3; ++m) counts[m] += out.decisions[m].access ? 1 : 0;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0, 0.01);   // 0.2/0.1 > 1
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.4, 0.02);   // 0.2/0.5
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.222, 0.02); // 0.2/0.9
+}
+
+TEST(Access, ExpectedAvailableSumsPosteriors) {
+  util::Rng rng(37);
+  const std::vector<double> posteriors = {0.8, 0.6, 0.9, 0.2};
+  const AccessOutcome out = decide_access(posteriors, 1.0, rng);  // access all
+  EXPECT_EQ(out.available().size(), 4u);
+  EXPECT_NEAR(out.expected_available(), 0.8 + 0.6 + 0.9 + 0.2, 1e-12);
+}
+
+TEST(Access, ZeroGammaBlocksUncertainChannels) {
+  util::Rng rng(41);
+  const AccessOutcome out = decide_access({0.99, 1.0}, 0.0, rng);
+  EXPECT_FALSE(out.decisions[0].access);  // any busy risk forbids access
+  EXPECT_TRUE(out.decisions[1].access);   // certainly idle is always allowed
+}
+
+// ---------------------------------------------------- SpectrumManager ----
+
+SpectrumConfig test_config() {
+  SpectrumConfig c;
+  c.num_licensed = 4;
+  c.occupancy = {0.4, 0.3};
+  c.gamma = 0.2;
+  c.user_sensor = {0.3, 0.3};
+  c.fbs_sensor = {0.3, 0.3};
+  c.num_users = 3;
+  c.num_fbs = 1;
+  return c;
+}
+
+TEST(SpectrumManager, ReportsPerChannelRoundRobin) {
+  util::Rng rng(43);
+  SpectrumManager mgr(test_config(), rng);
+  // Slot 0: users 0,1,2 sense channels 0,1,2; FBS senses all.
+  EXPECT_EQ(mgr.reports_for_channel(0, 0), 2u);  // FBS + user 0
+  EXPECT_EQ(mgr.reports_for_channel(1, 0), 2u);
+  EXPECT_EQ(mgr.reports_for_channel(2, 0), 2u);
+  EXPECT_EQ(mgr.reports_for_channel(3, 0), 1u);  // FBS only
+  // Slot 1 rotates: users cover channels 1,2,3.
+  EXPECT_EQ(mgr.reports_for_channel(0, 1), 1u);
+  EXPECT_EQ(mgr.reports_for_channel(3, 1), 2u);
+}
+
+TEST(SpectrumManager, ObservationShapesAndRanges) {
+  util::Rng rng(47);
+  SpectrumManager mgr(test_config(), rng);
+  const SlotObservation obs = mgr.observe_slot(0, rng);
+  EXPECT_EQ(obs.true_states.size(), 4u);
+  EXPECT_EQ(obs.posteriors.size(), 4u);
+  for (double p : obs.posteriors) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_EQ(obs.available.size(),
+            obs.truly_idle_available() + obs.collisions());
+  EXPECT_LE(obs.expected_available,
+            static_cast<double>(obs.available.size()) + 1e-12);
+}
+
+TEST(SpectrumManager, PerChannelCollisionProbabilityBounded) {
+  // The design constraint (Eq. 6): Pr{channel busy AND accessed} <= gamma
+  // per channel per slot. Empirical check over many slots.
+  util::Rng rng(53);
+  SpectrumConfig cfg = test_config();
+  SpectrumManager mgr(cfg, rng);
+  const std::size_t slots = 30000;
+  std::vector<std::size_t> collision_slots(cfg.num_licensed, 0);
+  for (std::size_t t = 0; t < slots; ++t) {
+    const SlotObservation obs = mgr.observe_slot(t, rng);
+    for (std::size_t m : obs.available) {
+      if (obs.true_states[m] == ChannelState::kBusy) ++collision_slots[m];
+    }
+  }
+  for (std::size_t m = 0; m < cfg.num_licensed; ++m) {
+    const double rate = static_cast<double>(collision_slots[m]) / slots;
+    EXPECT_LE(rate, cfg.gamma + 0.02) << "channel " << m;
+  }
+}
+
+TEST(SpectrumManager, PerfectSensingAccessPattern) {
+  // With perfect sensors, every truly idle channel has P^A = 1 and is
+  // always accessed. Eq. (7) still accesses a certainly-busy channel with
+  // probability gamma (the collision budget permits it, even though it
+  // carries no expected throughput), so collisions occur at rate ~gamma on
+  // busy channels — this is the paper's probabilistic policy, not a bug.
+  util::Rng rng(59);
+  SpectrumConfig cfg = test_config();
+  cfg.user_sensor = {0.0, 0.0};
+  cfg.fbs_sensor = {0.0, 0.0};
+  SpectrumManager mgr(cfg, rng);
+  std::size_t busy_total = 0, busy_accessed = 0;
+  for (std::size_t t = 0; t < 5000; ++t) {
+    const SlotObservation obs = mgr.observe_slot(t, rng);
+    std::size_t idle = 0;
+    for (auto s : obs.true_states) {
+      if (s == ChannelState::kIdle) ++idle;
+    }
+    busy_total += obs.true_states.size() - idle;
+    busy_accessed += obs.collisions();
+    // All idle channels accessed; G_t counts exactly them (posterior 1).
+    EXPECT_EQ(obs.available.size() - obs.collisions(), idle);
+    EXPECT_NEAR(obs.expected_available, static_cast<double>(idle), 1e-9);
+  }
+  EXPECT_NEAR(busy_accessed / static_cast<double>(busy_total), cfg.gamma,
+              0.02);
+}
+
+TEST(SpectrumManager, ConfigValidation) {
+  SpectrumConfig cfg = test_config();
+  cfg.gamma = 1.5;
+  util::Rng rng(1);
+  EXPECT_THROW(SpectrumManager(cfg, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace femtocr::spectrum

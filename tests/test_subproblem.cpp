@@ -1,0 +1,158 @@
+// Tests for the per-user Lagrangian subproblem (Eq. 14, Table I steps 3-8):
+// the closed-form share is verified against a numeric grid search, and the
+// base-station choice against direct evaluation of both branches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/objective.h"
+#include "core/subproblem.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace femtocr::core {
+namespace {
+
+double branch_value(double success, double psnr, double rate, double lambda,
+                    double rho) {
+  return success * std::log(psnr + rho * rate) +
+         (1.0 - success) * std::log(psnr) - lambda * rho;
+}
+
+TEST(BestShare, ClosedFormMatchesTableI) {
+  // rho* = [S/lambda - W/R]^+ per Table I step 3 (below the cap).
+  EXPECT_NEAR(best_share(0.9, 30.0, 60.0, 1.0), 0.9 - 0.5, 1e-12);
+  EXPECT_NEAR(best_share(0.9, 30.0, 60.0, 1.5), 0.9 / 1.5 - 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(best_share(0.9, 30.0, 0.5, 0.02), 0.0);  // negative -> 0
+}
+
+TEST(BestShare, CapAndEdgeCases) {
+  EXPECT_DOUBLE_EQ(best_share(0.9, 30.0, 100.0, 0.001), kRhoCap);
+  EXPECT_DOUBLE_EQ(best_share(0.9, 30.0, 0.0, 0.02), 0.0);   // no rate
+  EXPECT_DOUBLE_EQ(best_share(0.0, 30.0, 10.0, 0.02), 0.0);  // no success
+  EXPECT_DOUBLE_EQ(best_share(0.9, 30.0, 10.0, 0.0), kRhoCap);  // free
+  EXPECT_THROW(best_share(0.9, 0.0, 10.0, 0.02), std::logic_error);
+}
+
+TEST(BestShare, IsArgmaxOnAGrid) {
+  util::Rng rng(331);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double s = rng.uniform(0.5, 1.0);
+    const double w = rng.uniform(25.0, 45.0);
+    const double r = rng.uniform(0.3, 3.0);
+    const double lambda = rng.uniform(0.001, 0.1);
+    const double rho_star = best_share(s, w, r, lambda);
+    const double v_star = branch_value(s, w, r, lambda, rho_star);
+    for (double rho = 0.0; rho <= kRhoCap + 1e-12; rho += 0.001) {
+      ASSERT_LE(branch_value(s, w, r, lambda, rho), v_star + 1e-9)
+          << "s=" << s << " w=" << w << " r=" << r << " l=" << lambda;
+    }
+  }
+}
+
+TEST(SolveUser, PicksTheBetterBranch) {
+  UserState u;
+  u.psnr = 30.0;
+  u.success_mbs = 0.8;
+  u.success_fbs = 0.9;
+  u.rate_mbs = 0.6;
+  u.rate_fbs = 0.6;
+  const double g = 2.5;
+  for (double l0 : {0.005, 0.02, 0.08}) {
+    for (double l1 : {0.005, 0.02, 0.08}) {
+      const UserChoice c = solve_user(u, l0, l1, g);
+      const double rho0 = best_share(u.success_mbs, u.psnr, u.rate_mbs, l0);
+      const double rho1 =
+          best_share(u.success_fbs, u.psnr, u.rate_fbs * g, l1);
+      const double v0 = branch_value(u.success_mbs, u.psnr, u.rate_mbs, l0, rho0);
+      const double v1 =
+          branch_value(u.success_fbs, u.psnr, u.rate_fbs * g, l1, rho1);
+      EXPECT_EQ(c.use_mbs, v0 > v1);
+      EXPECT_NEAR(c.lagrangian, std::max(v0, v1), 1e-12);
+    }
+  }
+}
+
+TEST(SolveUser, ZeroesTheUnchosenShare) {
+  UserState u;
+  u.psnr = 30.0;
+  u.success_mbs = 0.9;
+  u.success_fbs = 0.9;
+  u.rate_mbs = 0.6;
+  u.rate_fbs = 0.6;
+  const UserChoice c = solve_user(u, 0.01, 0.01, 3.0);
+  if (c.use_mbs) {
+    EXPECT_DOUBLE_EQ(c.rho_fbs, 0.0);
+    EXPECT_GT(c.rho_mbs, 0.0);
+  } else {
+    EXPECT_DOUBLE_EQ(c.rho_mbs, 0.0);
+    EXPECT_GT(c.rho_fbs, 0.0);
+  }
+}
+
+TEST(SolveUser, NoChannelsMeansFbsIdles) {
+  UserState u;
+  u.psnr = 30.0;
+  u.success_mbs = 0.4;  // weak MBS link
+  u.success_fbs = 0.95;
+  u.rate_mbs = 0.6;
+  u.rate_fbs = 0.6;
+  // G = 0: the FBS branch can only idle at value log(W); an expensive MBS
+  // still wins because any positive-share gain beats idling at the same
+  // baseline. (Both branches share the +log W baseline in expectation.)
+  const UserChoice c = solve_user(u, 0.004, 0.01, 0.0);
+  EXPECT_TRUE(c.use_mbs);
+  EXPECT_DOUBLE_EQ(c.rho_fbs, 0.0);
+}
+
+TEST(SolveUser, HigherFbsPriceDrivesUsersToMbs) {
+  UserState u;
+  u.psnr = 30.0;
+  u.success_mbs = 0.8;
+  u.success_fbs = 0.9;
+  u.rate_mbs = 0.6;
+  u.rate_fbs = 0.6;
+  const UserChoice cheap_fbs = solve_user(u, 0.05, 0.002, 2.5);
+  const UserChoice costly_fbs = solve_user(u, 0.002, 0.2, 2.5);
+  EXPECT_FALSE(cheap_fbs.use_mbs);
+  EXPECT_TRUE(costly_fbs.use_mbs);
+}
+
+TEST(Objective, TermsMatchManualExpectation) {
+  UserState u;
+  u.psnr = 30.0;
+  u.success_mbs = 0.8;
+  u.success_fbs = 0.9;
+  u.rate_mbs = 0.6;
+  u.rate_fbs = 0.5;
+  // E[log W] with xi ~ Bernoulli(S).
+  EXPECT_NEAR(mbs_term(u, 0.5),
+              0.8 * std::log(30.0 + 0.5 * 0.6) + 0.2 * std::log(30.0), 1e-12);
+  EXPECT_NEAR(fbs_term(u, 0.5, 2.0),
+              0.9 * std::log(30.0 + 0.5 * 2.0 * 0.5) + 0.1 * std::log(30.0),
+              1e-12);
+  // Zero share leaves exactly log W in both branches.
+  EXPECT_NEAR(mbs_term(u, 0.0), std::log(30.0), 1e-12);
+  EXPECT_NEAR(fbs_term(u, 0.0, 2.0), std::log(30.0), 1e-12);
+}
+
+TEST(Objective, SlotObjectiveSumsChosenBranches) {
+  util::Rng rng(337);
+  auto f = test::random_context(rng, 4, 2, 3);
+  SlotAllocation a = SlotAllocation::zeros(f.ctx);
+  a.expected_channels = {2.0, 1.5};
+  a.use_mbs = {true, false, true, false};
+  a.rho_mbs = {0.4, 0.0, 0.6, 0.0};
+  a.rho_fbs = {0.0, 0.7, 0.0, 0.3};
+  double expected = 0.0;
+  for (std::size_t j = 0; j < 4; ++j) {
+    const UserState& u = f.ctx.users[j];
+    expected += a.use_mbs[j] ? mbs_term(u, a.rho_mbs[j])
+                             : fbs_term(u, a.rho_fbs[j],
+                                        a.expected_channels[u.fbs]);
+  }
+  EXPECT_NEAR(slot_objective(f.ctx, a), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace femtocr::core

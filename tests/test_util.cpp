@@ -1,0 +1,290 @@
+// Tests for the util layer: RNG determinism and distributions, running
+// statistics and confidence intervals, table rendering, math helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/log.h"
+#include "util/mathx.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace femtocr {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicGivenSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  util::Rng rng(11);
+  util::RunningStat s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  util::Rng rng(5);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  util::Rng rng(9);
+  util::RunningStat s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsBadMean) {
+  util::Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::logic_error);
+  EXPECT_THROW(rng.exponential(-1.0), std::logic_error);
+}
+
+TEST(Rng, IndexWithinBounds) {
+  util::Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(7), 7u);
+  }
+  EXPECT_THROW(rng.index(0), std::logic_error);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndReproducible) {
+  util::Rng parent1(99), parent2(99);
+  util::Rng c1 = parent1.split();
+  util::Rng c2 = parent2.split();
+  // Same parent seed and split order -> identical child stream.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+  }
+  // Consecutive splits differ from each other.
+  util::Rng c3 = parent1.split();
+  EXPECT_NE(c3.seed(), c1.seed());
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  util::Rng rng(17);
+  const auto p = rng.permutation(50);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+// ---------------------------------------------------------- RunningStat ----
+
+TEST(RunningStat, EmptyIsZero) {
+  util::RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStat, KnownValues) {
+  util::RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  util::Rng rng(21);
+  util::RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  util::RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Stats, TCriticalValues) {
+  EXPECT_NEAR(util::t_critical95(1), 12.706, 1e-3);
+  EXPECT_NEAR(util::t_critical95(9), 2.262, 1e-3);
+  EXPECT_NEAR(util::t_critical95(1000), 1.96, 1e-3);
+  EXPECT_DOUBLE_EQ(util::t_critical95(0), 0.0);
+}
+
+TEST(Stats, ConfidenceIntervalMatchesHandComputation) {
+  util::RunningStat s;
+  for (double x : {10.0, 12.0, 11.0, 13.0, 9.0}) s.add(x);
+  // n = 5, mean 11, sample sd = sqrt(2.5), se = sd/sqrt(5), t(4) = 2.776.
+  const double expected = 2.776 * std::sqrt(2.5) / std::sqrt(5.0);
+  EXPECT_NEAR(util::confidence_interval95(s), expected, 1e-9);
+}
+
+TEST(Stats, ConfidenceIntervalCoversTrueMean) {
+  // Property: ~95% of intervals built from N(0,1) samples contain 0.
+  util::Rng rng(31);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    util::RunningStat s;
+    for (int i = 0; i < 10; ++i) s.add(rng.normal());
+    const double ci = util::confidence_interval95(s);
+    if (std::fabs(s.mean()) <= ci) ++covered;
+  }
+  const double rate = static_cast<double>(covered) / trials;
+  EXPECT_GT(rate, 0.90);
+  EXPECT_LT(rate, 0.99);
+}
+
+TEST(Stats, MeanOf) {
+  EXPECT_DOUBLE_EQ(util::mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(util::mean_of({2.0, 4.0}), 3.0);
+}
+
+// ---------------------------------------------------------------- Table ----
+
+TEST(Table, RendersAlignedCells) {
+  util::Table t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"beta-long-name", "2.50"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta-long-name"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  util::Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream oss;
+  t.print_csv(oss, "fig");
+  EXPECT_EQ(oss.str(), "csv,fig,x,y\ncsv,fig,1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(util::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(util::Table::num(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------- mathx ----
+
+TEST(Mathx, PosProjection) {
+  EXPECT_DOUBLE_EQ(util::pos(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(util::pos(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(util::pos(0.0), 0.0);
+}
+
+TEST(Mathx, Clamp) {
+  EXPECT_DOUBLE_EQ(util::clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(util::clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Mathx, SquaredDistance) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(util::squared_distance(a, b), 25.0);
+}
+
+// ------------------------------------------------------------------ log ----
+
+TEST(Log, ThresholdGatesMessages) {
+  // Capture stderr around the logging calls.
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  FEMTOCR_LOG_DEBUG << "hidden";
+  FEMTOCR_LOG_WARN << "visible " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  util::set_log_level(saved);
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] visible 42"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  FEMTOCR_LOG(util::LogLevel::kError) << "still hidden";
+  const std::string out = testing::internal::GetCapturedStderr();
+  util::set_log_level(saved);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Log, LevelRoundTrips) {
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kTrace);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kTrace);
+  util::set_log_level(saved);
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    FEMTOCR_CHECK(false, "context message");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context message"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace femtocr

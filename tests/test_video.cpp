@@ -1,0 +1,162 @@
+// Tests for the video substrate: MGS rate-quality model (Eq. 9), the
+// sequence catalogue, GOP timing and per-user session accounting.
+#include <gtest/gtest.h>
+
+#include "video/gop.h"
+#include "video/mgs_model.h"
+#include "video/session.h"
+
+namespace femtocr::video {
+namespace {
+
+// ---------------------------------------------------------- MgsVideo ----
+
+TEST(MgsVideo, LinearModel) {
+  const MgsVideo v{"Test", 30.0, 20.0, 1.0};
+  EXPECT_DOUBLE_EQ(v.psnr(0.0), 30.0);      // base layer only
+  EXPECT_DOUBLE_EQ(v.psnr(0.25), 35.0);     // Eq. (9)
+  EXPECT_DOUBLE_EQ(v.psnr(1.0), 50.0);
+}
+
+TEST(MgsVideo, SaturatesAtMaxRate) {
+  const MgsVideo v{"Test", 30.0, 20.0, 0.5};
+  EXPECT_DOUBLE_EQ(v.psnr(0.5), 40.0);
+  EXPECT_DOUBLE_EQ(v.psnr(2.0), 40.0);  // extra rate buys nothing
+  EXPECT_DOUBLE_EQ(v.psnr(-1.0), 30.0);
+}
+
+TEST(MgsVideo, InverseModel) {
+  const MgsVideo v{"Test", 30.0, 20.0, 1.0};
+  EXPECT_DOUBLE_EQ(v.rate_for_psnr(35.0), 0.25);
+  EXPECT_DOUBLE_EQ(v.rate_for_psnr(25.0), 0.0);   // below base: no rate
+  EXPECT_DOUBLE_EQ(v.rate_for_psnr(99.0), 1.0);   // clamped to max
+  EXPECT_DOUBLE_EQ(v.psnr(v.rate_for_psnr(37.0)), 37.0);  // round trip
+}
+
+TEST(MgsVideo, Validation) {
+  EXPECT_THROW((MgsVideo{"", 30, 20, 1}.validate()), std::logic_error);
+  EXPECT_THROW((MgsVideo{"x", 0, 20, 1}.validate()), std::logic_error);
+  EXPECT_THROW((MgsVideo{"x", 30, -1, 1}.validate()), std::logic_error);
+  EXPECT_THROW((MgsVideo{"x", 30, 20, 0}.validate()), std::logic_error);
+}
+
+TEST(Catalogue, ContainsThePapersSequences) {
+  for (const char* name : {"Bus", "Mobile", "Harbor"}) {
+    const MgsVideo& v = sequence(name);
+    EXPECT_EQ(v.name, name);
+    v.validate();
+  }
+  EXPECT_THROW(sequence("NoSuchClip"), std::logic_error);
+}
+
+TEST(Catalogue, AllEntriesValid) {
+  for (const auto& v : standard_catalogue()) {
+    v.validate();
+    EXPECT_GT(v.alpha, 20.0);  // plausible base-layer PSNR
+    EXPECT_LT(v.alpha, 40.0);
+    EXPECT_GT(v.beta, 0.0);
+  }
+  EXPECT_GE(standard_catalogue().size(), 9u);
+}
+
+TEST(Catalogue, ComplexSequencesSitLower) {
+  // Mobile (high spatial detail) must have a lower base quality than the
+  // easy Ice sequence at every rate in the model's range.
+  const MgsVideo& mobile = sequence("Mobile");
+  const MgsVideo& ice = sequence("Ice");
+  for (double r : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    EXPECT_LT(mobile.psnr(r), ice.psnr(r));
+  }
+}
+
+// ---------------------------------------------------------- GopClock ----
+
+TEST(GopClock, WindowArithmetic) {
+  const GopClock c(10);
+  EXPECT_EQ(c.deadline(), 10u);
+  EXPECT_EQ(c.gop_of(0), 0u);
+  EXPECT_EQ(c.gop_of(9), 0u);
+  EXPECT_EQ(c.gop_of(10), 1u);
+  EXPECT_EQ(c.offset(23), 3u);
+}
+
+TEST(GopClock, BoundaryPredicates) {
+  const GopClock c(4);
+  EXPECT_TRUE(c.starts_gop(0));
+  EXPECT_TRUE(c.starts_gop(4));
+  EXPECT_FALSE(c.starts_gop(5));
+  EXPECT_TRUE(c.ends_gop(3));
+  EXPECT_TRUE(c.ends_gop(7));
+  EXPECT_FALSE(c.ends_gop(4));
+}
+
+TEST(GopClock, SingleSlotWindows) {
+  const GopClock c(1);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_TRUE(c.starts_gop(t));
+    EXPECT_TRUE(c.ends_gop(t));
+  }
+}
+
+TEST(GopClock, RejectsZeroDeadline) {
+  EXPECT_THROW(GopClock(0), std::logic_error);
+}
+
+// ------------------------------------------------------- VideoSession ----
+
+TEST(VideoSession, StartsAtBaseLayer) {
+  VideoSession s(sequence("Bus"), GopClock(10));
+  EXPECT_DOUBLE_EQ(s.current_psnr(), sequence("Bus").alpha);
+  EXPECT_DOUBLE_EQ(s.mean_gop_psnr(), sequence("Bus").alpha);  // no GOPs yet
+}
+
+TEST(VideoSession, RateConstantIsBetaBOverT) {
+  VideoSession s(sequence("Bus"), GopClock(10));
+  // R_{0,j} = beta * B0 / T.
+  EXPECT_NEAR(s.rate_constant(0.3), sequence("Bus").beta * 0.3 / 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.rate_constant(0.0), 0.0);
+  EXPECT_THROW(s.rate_constant(-0.1), std::logic_error);
+}
+
+TEST(VideoSession, AccumulatesAndResetsPerGop) {
+  const MgsVideo v{"Clip", 30.0, 20.0, 10.0};
+  VideoSession s(v, GopClock(2));
+  // GOP 0: two slots of +1 dB each.
+  s.begin_slot(0);
+  s.deliver(1.0);
+  s.end_slot(0);
+  s.begin_slot(1);
+  s.deliver(1.0);
+  s.end_slot(1);
+  ASSERT_EQ(s.gop_history().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.gop_history()[0], 32.0);
+  // GOP 1 starts fresh from alpha.
+  s.begin_slot(2);
+  EXPECT_DOUBLE_EQ(s.current_psnr(), 30.0);
+  s.deliver(0.5);
+  s.end_slot(2);
+  s.begin_slot(3);
+  s.end_slot(3);
+  ASSERT_EQ(s.gop_history().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.gop_history()[1], 30.5);
+  EXPECT_DOUBLE_EQ(s.mean_gop_psnr(), 31.25);
+}
+
+TEST(VideoSession, SaturatesAtStreamCap) {
+  const MgsVideo v{"Clip", 30.0, 20.0, 0.1};  // cap at 32 dB
+  VideoSession s(v, GopClock(4));
+  s.begin_slot(0);
+  s.deliver(5.0);
+  EXPECT_DOUBLE_EQ(s.current_psnr(), 32.0);
+  s.deliver(5.0);
+  EXPECT_DOUBLE_EQ(s.current_psnr(), 32.0);  // no more enhancement bits
+}
+
+TEST(VideoSession, RejectsNegativeIncrements) {
+  VideoSession s(sequence("Bus"), GopClock(10));
+  s.begin_slot(0);
+  EXPECT_THROW(s.deliver(-0.1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace femtocr::video

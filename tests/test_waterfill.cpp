@@ -1,0 +1,160 @@
+// Tests for the exact water-filling solver: KKT conditions per resource,
+// agreement with brute-force assignment enumeration on random instances,
+// feasibility, and the channel-free baseline objective.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/objective.h"
+#include "core/waterfill.h"
+#include "core/subproblem.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace femtocr::core {
+namespace {
+
+TEST(WaterfillResource, EmptyResource) {
+  util::Rng rng(401);
+  auto f = test::random_context(rng, 2, 1, 2);
+  std::vector<double> rho;
+  EXPECT_DOUBLE_EQ(waterfill_resource(f.ctx, {}, {}, {}, rho), 0.0);
+  EXPECT_TRUE(rho.empty());
+}
+
+TEST(WaterfillResource, BindsTheBudgetWhenContended) {
+  util::Rng rng(403);
+  auto f = test::random_context(rng, 4, 1, 3);
+  std::vector<std::size_t> users = {0, 1, 2, 3};
+  std::vector<double> rates, successes;
+  for (std::size_t j : users) {
+    rates.push_back(f.ctx.users[j].rate_mbs);
+    successes.push_back(f.ctx.users[j].success_mbs);
+  }
+  std::vector<double> rho;
+  const double lambda = waterfill_resource(f.ctx, users, rates, successes, rho);
+  double sum = 0.0;
+  for (double r : rho) {
+    EXPECT_GE(r, 0.0);
+    sum += r;
+  }
+  // Four users contending for one slot: the budget binds at a positive price.
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(lambda, 0.0);
+}
+
+TEST(WaterfillResource, KktStationarity) {
+  // Positive shares must equalize marginal value S R/(W + rho R) = lambda;
+  // zero shares must have marginal value <= lambda.
+  util::Rng rng(407);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto f = test::random_context(rng, 5, 1, 2);
+    std::vector<std::size_t> users = {0, 1, 2, 3, 4};
+    std::vector<double> rates, successes;
+    for (std::size_t j : users) {
+      rates.push_back(f.ctx.users[j].rate_fbs * 2.0);
+      successes.push_back(f.ctx.users[j].success_fbs);
+    }
+    std::vector<double> rho;
+    const double lambda =
+        waterfill_resource(f.ctx, users, rates, successes, rho);
+    ASSERT_GT(lambda, 0.0);
+    for (std::size_t k = 0; k < users.size(); ++k) {
+      const UserState& u = f.ctx.users[users[k]];
+      const double marginal =
+          successes[k] * rates[k] / (u.psnr + rho[k] * rates[k]);
+      if (rho[k] > 1e-9 && rho[k] < kRhoCap - 1e-9) {
+        EXPECT_NEAR(marginal, lambda, 1e-5 * lambda);
+      } else if (rho[k] <= 1e-9) {
+        EXPECT_LE(marginal, lambda * (1.0 + 1e-6));
+      }
+    }
+  }
+}
+
+TEST(WaterfillResource, SingleUserTakesTheCap) {
+  util::Rng rng(409);
+  auto f = test::random_context(rng, 1, 1, 2);
+  std::vector<double> rho;
+  const double lambda = waterfill_resource(
+      f.ctx, {0}, {f.ctx.users[0].rate_mbs}, {f.ctx.users[0].success_mbs},
+      rho);
+  // One user cannot exceed rho = 1 = the whole budget, so the budget is
+  // slack at the cap and the price settles at zero.
+  EXPECT_DOUBLE_EQ(rho[0], kRhoCap);
+  EXPECT_DOUBLE_EQ(lambda, 0.0);
+}
+
+TEST(WaterfillSolve, FeasibleAndChannelAware) {
+  util::Rng rng(411);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto f = test::random_context(rng, 6, 2, 4);
+    const std::vector<double> gt = {rng.uniform(0.0, 3.0),
+                                    rng.uniform(0.0, 3.0)};
+    const SlotAllocation a = waterfill_solve(f.ctx, gt);
+    EXPECT_TRUE(a.feasible(f.ctx));
+    EXPECT_EQ(a.expected_channels, gt);
+  }
+}
+
+TEST(WaterfillSolve, MatchesExhaustiveAssignment) {
+  // The hill-climbing assignment search must find the brute-force optimum
+  // on small instances (the inner problem is solved exactly either way).
+  util::Rng rng(419);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t num_users = 2 + trial % 5;  // 2..6 users
+    const std::size_t num_fbs = 1 + trial % 2;
+    auto f = test::random_context(rng, num_users, num_fbs, 3);
+    std::vector<double> gt;
+    for (std::size_t i = 0; i < num_fbs; ++i) gt.push_back(rng.uniform(0.5, 3.0));
+    const SlotAllocation fast = waterfill_solve(f.ctx, gt);
+    const SlotAllocation exact = waterfill_solve_exhaustive(f.ctx, gt);
+    EXPECT_NEAR(fast.objective, exact.objective, 1e-6)
+        << "trial " << trial << ": hill climbing missed the optimum";
+  }
+}
+
+TEST(WaterfillSolve, MonotoneInChannelCount) {
+  // More expected channels can never decrease the optimal objective.
+  util::Rng rng(421);
+  auto f = test::random_context(rng, 4, 1, 3);
+  double prev = waterfill_solve(f.ctx, {0.0}).objective;
+  for (double g = 0.5; g <= 4.0; g += 0.5) {
+    const double cur = waterfill_solve(f.ctx, {g}).objective;
+    EXPECT_GE(cur, prev - 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(WaterfillSolve, NoChannelsSendsEveryoneUsefulToMbs) {
+  util::Rng rng(431);
+  auto f = test::random_context(rng, 3, 1, 0);
+  const SlotAllocation a = waterfill_solve(f.ctx, {0.0});
+  // With G = 0 the FBS branch strictly idles; the optimum puts at least one
+  // user on the common channel and fills its slot.
+  double sum_mbs = 0.0;
+  for (double r : a.rho_mbs) sum_mbs += r;
+  EXPECT_GT(sum_mbs, 0.99);
+}
+
+TEST(WaterfillSolve, EmptyObjectiveMatchesZeroChannelSolve) {
+  util::Rng rng(433);
+  auto f = test::random_context(rng, 4, 2, 3);
+  const double direct = waterfill_solve(f.ctx, {0.0, 0.0}).objective;
+  EXPECT_NEAR(empty_allocation_objective(f.ctx), direct, 1e-12);
+}
+
+TEST(WaterfillSolve, ExhaustiveGuard) {
+  util::Rng rng(439);
+  auto f = test::random_context(rng, 17, 1, 1);
+  EXPECT_THROW(waterfill_solve_exhaustive(f.ctx, {1.0}), std::logic_error);
+}
+
+TEST(WaterfillSolve, RejectsMismatchedGtVector) {
+  util::Rng rng(443);
+  auto f = test::random_context(rng, 3, 2, 2);
+  EXPECT_THROW(waterfill_solve(f.ctx, {1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace femtocr::core
