@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_belief.dir/abl_belief.cpp.o"
+  "CMakeFiles/abl_belief.dir/abl_belief.cpp.o.d"
+  "abl_belief"
+  "abl_belief.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_belief.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_collision_accounting.dir/abl_collision_accounting.cpp.o"
+  "CMakeFiles/abl_collision_accounting.dir/abl_collision_accounting.cpp.o.d"
+  "abl_collision_accounting"
+  "abl_collision_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_collision_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_greedy_vs_exact.dir/abl_greedy_vs_exact.cpp.o"
+  "CMakeFiles/abl_greedy_vs_exact.dir/abl_greedy_vs_exact.cpp.o.d"
+  "abl_greedy_vs_exact"
+  "abl_greedy_vs_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_greedy_vs_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_heterogeneous.dir/abl_heterogeneous.cpp.o"
+  "CMakeFiles/abl_heterogeneous.dir/abl_heterogeneous.cpp.o.d"
+  "abl_heterogeneous"
+  "abl_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

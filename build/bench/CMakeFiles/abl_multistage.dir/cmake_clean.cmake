@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multistage.dir/abl_multistage.cpp.o"
+  "CMakeFiles/abl_multistage.dir/abl_multistage.cpp.o.d"
+  "abl_multistage"
+  "abl_multistage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multistage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

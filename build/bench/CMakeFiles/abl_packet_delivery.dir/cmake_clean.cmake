@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_packet_delivery.dir/abl_packet_delivery.cpp.o"
+  "CMakeFiles/abl_packet_delivery.dir/abl_packet_delivery.cpp.o.d"
+  "abl_packet_delivery"
+  "abl_packet_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_packet_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

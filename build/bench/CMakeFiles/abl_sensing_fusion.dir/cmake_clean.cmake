@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sensing_fusion.dir/abl_sensing_fusion.cpp.o"
+  "CMakeFiles/abl_sensing_fusion.dir/abl_sensing_fusion.cpp.o.d"
+  "abl_sensing_fusion"
+  "abl_sensing_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sensing_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_single_fbs_psnr.dir/fig3_single_fbs_psnr.cpp.o"
+  "CMakeFiles/fig3_single_fbs_psnr.dir/fig3_single_fbs_psnr.cpp.o.d"
+  "fig3_single_fbs_psnr"
+  "fig3_single_fbs_psnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_single_fbs_psnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

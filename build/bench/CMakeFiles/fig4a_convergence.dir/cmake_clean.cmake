@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_convergence.dir/fig4a_convergence.cpp.o"
+  "CMakeFiles/fig4a_convergence.dir/fig4a_convergence.cpp.o.d"
+  "fig4a_convergence"
+  "fig4a_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

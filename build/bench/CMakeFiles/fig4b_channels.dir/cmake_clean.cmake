@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_channels.dir/fig4b_channels.cpp.o"
+  "CMakeFiles/fig4b_channels.dir/fig4b_channels.cpp.o.d"
+  "fig4b_channels"
+  "fig4b_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

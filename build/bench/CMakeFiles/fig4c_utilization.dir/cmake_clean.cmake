@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_utilization.dir/fig4c_utilization.cpp.o"
+  "CMakeFiles/fig4c_utilization.dir/fig4c_utilization.cpp.o.d"
+  "fig4c_utilization"
+  "fig4c_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

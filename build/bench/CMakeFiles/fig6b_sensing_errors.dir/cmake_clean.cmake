@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_sensing_errors.dir/fig6b_sensing_errors.cpp.o"
+  "CMakeFiles/fig6b_sensing_errors.dir/fig6b_sensing_errors.cpp.o.d"
+  "fig6b_sensing_errors"
+  "fig6b_sensing_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_sensing_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_common_bandwidth.dir/fig6c_common_bandwidth.cpp.o"
+  "CMakeFiles/fig6c_common_bandwidth.dir/fig6c_common_bandwidth.cpp.o.d"
+  "fig6c_common_bandwidth"
+  "fig6c_common_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_common_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

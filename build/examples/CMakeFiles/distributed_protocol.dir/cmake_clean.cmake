@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_protocol.dir/distributed_protocol.cpp.o"
+  "CMakeFiles/distributed_protocol.dir/distributed_protocol.cpp.o.d"
+  "distributed_protocol"
+  "distributed_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

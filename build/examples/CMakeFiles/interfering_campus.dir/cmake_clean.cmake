@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interfering_campus.dir/interfering_campus.cpp.o"
+  "CMakeFiles/interfering_campus.dir/interfering_campus.cpp.o.d"
+  "interfering_campus"
+  "interfering_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interfering_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensing_tradeoff.dir/sensing_tradeoff.cpp.o"
+  "CMakeFiles/sensing_tradeoff.dir/sensing_tradeoff.cpp.o.d"
+  "sensing_tradeoff"
+  "sensing_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensing_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

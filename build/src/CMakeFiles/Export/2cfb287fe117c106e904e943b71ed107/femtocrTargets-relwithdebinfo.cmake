@@ -1,0 +1,79 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "femtocr::femtocr_sim" for configuration "RelWithDebInfo"
+set_property(TARGET femtocr::femtocr_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(femtocr::femtocr_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfemtocr_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets femtocr::femtocr_sim )
+list(APPEND _cmake_import_check_files_for_femtocr::femtocr_sim "${_IMPORT_PREFIX}/lib/libfemtocr_sim.a" )
+
+# Import target "femtocr::femtocr_core" for configuration "RelWithDebInfo"
+set_property(TARGET femtocr::femtocr_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(femtocr::femtocr_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfemtocr_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets femtocr::femtocr_core )
+list(APPEND _cmake_import_check_files_for_femtocr::femtocr_core "${_IMPORT_PREFIX}/lib/libfemtocr_core.a" )
+
+# Import target "femtocr::femtocr_net" for configuration "RelWithDebInfo"
+set_property(TARGET femtocr::femtocr_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(femtocr::femtocr_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfemtocr_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets femtocr::femtocr_net )
+list(APPEND _cmake_import_check_files_for_femtocr::femtocr_net "${_IMPORT_PREFIX}/lib/libfemtocr_net.a" )
+
+# Import target "femtocr::femtocr_video" for configuration "RelWithDebInfo"
+set_property(TARGET femtocr::femtocr_video APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(femtocr::femtocr_video PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfemtocr_video.a"
+  )
+
+list(APPEND _cmake_import_check_targets femtocr::femtocr_video )
+list(APPEND _cmake_import_check_files_for_femtocr::femtocr_video "${_IMPORT_PREFIX}/lib/libfemtocr_video.a" )
+
+# Import target "femtocr::femtocr_phy" for configuration "RelWithDebInfo"
+set_property(TARGET femtocr::femtocr_phy APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(femtocr::femtocr_phy PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfemtocr_phy.a"
+  )
+
+list(APPEND _cmake_import_check_targets femtocr::femtocr_phy )
+list(APPEND _cmake_import_check_files_for_femtocr::femtocr_phy "${_IMPORT_PREFIX}/lib/libfemtocr_phy.a" )
+
+# Import target "femtocr::femtocr_spectrum" for configuration "RelWithDebInfo"
+set_property(TARGET femtocr::femtocr_spectrum APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(femtocr::femtocr_spectrum PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfemtocr_spectrum.a"
+  )
+
+list(APPEND _cmake_import_check_targets femtocr::femtocr_spectrum )
+list(APPEND _cmake_import_check_files_for_femtocr::femtocr_spectrum "${_IMPORT_PREFIX}/lib/libfemtocr_spectrum.a" )
+
+# Import target "femtocr::femtocr_util" for configuration "RelWithDebInfo"
+set_property(TARGET femtocr::femtocr_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(femtocr::femtocr_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libfemtocr_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets femtocr::femtocr_util )
+list(APPEND _cmake_import_check_files_for_femtocr::femtocr_util "${_IMPORT_PREFIX}/lib/libfemtocr_util.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

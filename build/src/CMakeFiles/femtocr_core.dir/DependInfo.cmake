@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/CMakeFiles/femtocr_core.dir/core/bounds.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/bounds.cpp.o.d"
+  "/root/repo/src/core/dual_solver.cpp" "src/CMakeFiles/femtocr_core.dir/core/dual_solver.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/dual_solver.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/CMakeFiles/femtocr_core.dir/core/exact.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/exact.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/CMakeFiles/femtocr_core.dir/core/greedy.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/greedy.cpp.o.d"
+  "/root/repo/src/core/heuristics.cpp" "src/CMakeFiles/femtocr_core.dir/core/heuristics.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/heuristics.cpp.o.d"
+  "/root/repo/src/core/kkt.cpp" "src/CMakeFiles/femtocr_core.dir/core/kkt.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/kkt.cpp.o.d"
+  "/root/repo/src/core/multistage.cpp" "src/CMakeFiles/femtocr_core.dir/core/multistage.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/multistage.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/CMakeFiles/femtocr_core.dir/core/objective.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/objective.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/CMakeFiles/femtocr_core.dir/core/protocol.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/protocol.cpp.o.d"
+  "/root/repo/src/core/qos.cpp" "src/CMakeFiles/femtocr_core.dir/core/qos.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/qos.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/CMakeFiles/femtocr_core.dir/core/scheme.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/scheme.cpp.o.d"
+  "/root/repo/src/core/subproblem.cpp" "src/CMakeFiles/femtocr_core.dir/core/subproblem.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/subproblem.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/CMakeFiles/femtocr_core.dir/core/types.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/types.cpp.o.d"
+  "/root/repo/src/core/waterfill.cpp" "src/CMakeFiles/femtocr_core.dir/core/waterfill.cpp.o" "gcc" "src/CMakeFiles/femtocr_core.dir/core/waterfill.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/femtocr_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

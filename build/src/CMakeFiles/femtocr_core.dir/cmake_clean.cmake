@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femtocr_core.dir/core/bounds.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/bounds.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/dual_solver.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/dual_solver.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/exact.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/exact.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/greedy.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/greedy.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/heuristics.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/heuristics.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/kkt.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/kkt.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/multistage.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/multistage.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/objective.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/objective.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/protocol.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/protocol.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/qos.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/qos.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/scheme.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/scheme.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/subproblem.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/subproblem.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/types.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/types.cpp.o.d"
+  "CMakeFiles/femtocr_core.dir/core/waterfill.cpp.o"
+  "CMakeFiles/femtocr_core.dir/core/waterfill.cpp.o.d"
+  "libfemtocr_core.a"
+  "libfemtocr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femtocr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

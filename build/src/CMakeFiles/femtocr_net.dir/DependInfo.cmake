@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/interference_graph.cpp" "src/CMakeFiles/femtocr_net.dir/net/interference_graph.cpp.o" "gcc" "src/CMakeFiles/femtocr_net.dir/net/interference_graph.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/femtocr_net.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/femtocr_net.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/femtocr_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/femtocr_net.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/femtocr_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femtocr_net.dir/net/interference_graph.cpp.o"
+  "CMakeFiles/femtocr_net.dir/net/interference_graph.cpp.o.d"
+  "CMakeFiles/femtocr_net.dir/net/node.cpp.o"
+  "CMakeFiles/femtocr_net.dir/net/node.cpp.o.d"
+  "CMakeFiles/femtocr_net.dir/net/topology.cpp.o"
+  "CMakeFiles/femtocr_net.dir/net/topology.cpp.o.d"
+  "libfemtocr_net.a"
+  "libfemtocr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femtocr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/fading.cpp" "src/CMakeFiles/femtocr_phy.dir/phy/fading.cpp.o" "gcc" "src/CMakeFiles/femtocr_phy.dir/phy/fading.cpp.o.d"
+  "/root/repo/src/phy/geometry.cpp" "src/CMakeFiles/femtocr_phy.dir/phy/geometry.cpp.o" "gcc" "src/CMakeFiles/femtocr_phy.dir/phy/geometry.cpp.o.d"
+  "/root/repo/src/phy/link.cpp" "src/CMakeFiles/femtocr_phy.dir/phy/link.cpp.o" "gcc" "src/CMakeFiles/femtocr_phy.dir/phy/link.cpp.o.d"
+  "/root/repo/src/phy/pathloss.cpp" "src/CMakeFiles/femtocr_phy.dir/phy/pathloss.cpp.o" "gcc" "src/CMakeFiles/femtocr_phy.dir/phy/pathloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/femtocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

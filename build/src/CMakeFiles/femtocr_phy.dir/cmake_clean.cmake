@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femtocr_phy.dir/phy/fading.cpp.o"
+  "CMakeFiles/femtocr_phy.dir/phy/fading.cpp.o.d"
+  "CMakeFiles/femtocr_phy.dir/phy/geometry.cpp.o"
+  "CMakeFiles/femtocr_phy.dir/phy/geometry.cpp.o.d"
+  "CMakeFiles/femtocr_phy.dir/phy/link.cpp.o"
+  "CMakeFiles/femtocr_phy.dir/phy/link.cpp.o.d"
+  "CMakeFiles/femtocr_phy.dir/phy/pathloss.cpp.o"
+  "CMakeFiles/femtocr_phy.dir/phy/pathloss.cpp.o.d"
+  "libfemtocr_phy.a"
+  "libfemtocr_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femtocr_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

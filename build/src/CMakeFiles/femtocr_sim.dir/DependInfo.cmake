@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config_io.cpp" "src/CMakeFiles/femtocr_sim.dir/sim/config_io.cpp.o" "gcc" "src/CMakeFiles/femtocr_sim.dir/sim/config_io.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/femtocr_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/femtocr_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/femtocr_sim.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/femtocr_sim.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/femtocr_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/femtocr_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/sweeps.cpp" "src/CMakeFiles/femtocr_sim.dir/sim/sweeps.cpp.o" "gcc" "src/CMakeFiles/femtocr_sim.dir/sim/sweeps.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/femtocr_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/femtocr_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/femtocr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

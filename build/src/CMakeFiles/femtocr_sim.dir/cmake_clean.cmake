@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femtocr_sim.dir/sim/config_io.cpp.o"
+  "CMakeFiles/femtocr_sim.dir/sim/config_io.cpp.o.d"
+  "CMakeFiles/femtocr_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/femtocr_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/femtocr_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/femtocr_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/femtocr_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/femtocr_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/femtocr_sim.dir/sim/sweeps.cpp.o"
+  "CMakeFiles/femtocr_sim.dir/sim/sweeps.cpp.o.d"
+  "CMakeFiles/femtocr_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/femtocr_sim.dir/sim/trace.cpp.o.d"
+  "libfemtocr_sim.a"
+  "libfemtocr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femtocr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

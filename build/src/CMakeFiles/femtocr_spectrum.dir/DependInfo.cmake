@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectrum/access.cpp" "src/CMakeFiles/femtocr_spectrum.dir/spectrum/access.cpp.o" "gcc" "src/CMakeFiles/femtocr_spectrum.dir/spectrum/access.cpp.o.d"
+  "/root/repo/src/spectrum/belief.cpp" "src/CMakeFiles/femtocr_spectrum.dir/spectrum/belief.cpp.o" "gcc" "src/CMakeFiles/femtocr_spectrum.dir/spectrum/belief.cpp.o.d"
+  "/root/repo/src/spectrum/markov_channel.cpp" "src/CMakeFiles/femtocr_spectrum.dir/spectrum/markov_channel.cpp.o" "gcc" "src/CMakeFiles/femtocr_spectrum.dir/spectrum/markov_channel.cpp.o.d"
+  "/root/repo/src/spectrum/sensing.cpp" "src/CMakeFiles/femtocr_spectrum.dir/spectrum/sensing.cpp.o" "gcc" "src/CMakeFiles/femtocr_spectrum.dir/spectrum/sensing.cpp.o.d"
+  "/root/repo/src/spectrum/spectrum_manager.cpp" "src/CMakeFiles/femtocr_spectrum.dir/spectrum/spectrum_manager.cpp.o" "gcc" "src/CMakeFiles/femtocr_spectrum.dir/spectrum/spectrum_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/femtocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femtocr_spectrum.dir/spectrum/access.cpp.o"
+  "CMakeFiles/femtocr_spectrum.dir/spectrum/access.cpp.o.d"
+  "CMakeFiles/femtocr_spectrum.dir/spectrum/belief.cpp.o"
+  "CMakeFiles/femtocr_spectrum.dir/spectrum/belief.cpp.o.d"
+  "CMakeFiles/femtocr_spectrum.dir/spectrum/markov_channel.cpp.o"
+  "CMakeFiles/femtocr_spectrum.dir/spectrum/markov_channel.cpp.o.d"
+  "CMakeFiles/femtocr_spectrum.dir/spectrum/sensing.cpp.o"
+  "CMakeFiles/femtocr_spectrum.dir/spectrum/sensing.cpp.o.d"
+  "CMakeFiles/femtocr_spectrum.dir/spectrum/spectrum_manager.cpp.o"
+  "CMakeFiles/femtocr_spectrum.dir/spectrum/spectrum_manager.cpp.o.d"
+  "libfemtocr_spectrum.a"
+  "libfemtocr_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femtocr_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femtocr_util.dir/util/args.cpp.o"
+  "CMakeFiles/femtocr_util.dir/util/args.cpp.o.d"
+  "CMakeFiles/femtocr_util.dir/util/ascii_chart.cpp.o"
+  "CMakeFiles/femtocr_util.dir/util/ascii_chart.cpp.o.d"
+  "CMakeFiles/femtocr_util.dir/util/log.cpp.o"
+  "CMakeFiles/femtocr_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/femtocr_util.dir/util/rng.cpp.o"
+  "CMakeFiles/femtocr_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/femtocr_util.dir/util/stats.cpp.o"
+  "CMakeFiles/femtocr_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/femtocr_util.dir/util/table.cpp.o"
+  "CMakeFiles/femtocr_util.dir/util/table.cpp.o.d"
+  "libfemtocr_util.a"
+  "libfemtocr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femtocr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/gop.cpp" "src/CMakeFiles/femtocr_video.dir/video/gop.cpp.o" "gcc" "src/CMakeFiles/femtocr_video.dir/video/gop.cpp.o.d"
+  "/root/repo/src/video/mgs_model.cpp" "src/CMakeFiles/femtocr_video.dir/video/mgs_model.cpp.o" "gcc" "src/CMakeFiles/femtocr_video.dir/video/mgs_model.cpp.o.d"
+  "/root/repo/src/video/nal.cpp" "src/CMakeFiles/femtocr_video.dir/video/nal.cpp.o" "gcc" "src/CMakeFiles/femtocr_video.dir/video/nal.cpp.o.d"
+  "/root/repo/src/video/packet_stream.cpp" "src/CMakeFiles/femtocr_video.dir/video/packet_stream.cpp.o" "gcc" "src/CMakeFiles/femtocr_video.dir/video/packet_stream.cpp.o.d"
+  "/root/repo/src/video/session.cpp" "src/CMakeFiles/femtocr_video.dir/video/session.cpp.o" "gcc" "src/CMakeFiles/femtocr_video.dir/video/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/femtocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

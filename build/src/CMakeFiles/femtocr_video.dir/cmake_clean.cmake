@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femtocr_video.dir/video/gop.cpp.o"
+  "CMakeFiles/femtocr_video.dir/video/gop.cpp.o.d"
+  "CMakeFiles/femtocr_video.dir/video/mgs_model.cpp.o"
+  "CMakeFiles/femtocr_video.dir/video/mgs_model.cpp.o.d"
+  "CMakeFiles/femtocr_video.dir/video/nal.cpp.o"
+  "CMakeFiles/femtocr_video.dir/video/nal.cpp.o.d"
+  "CMakeFiles/femtocr_video.dir/video/packet_stream.cpp.o"
+  "CMakeFiles/femtocr_video.dir/video/packet_stream.cpp.o.d"
+  "CMakeFiles/femtocr_video.dir/video/session.cpp.o"
+  "CMakeFiles/femtocr_video.dir/video/session.cpp.o.d"
+  "libfemtocr_video.a"
+  "libfemtocr_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femtocr_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfemtocr_video.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascii_chart.dir/test_ascii_chart.cpp.o"
+  "CMakeFiles/test_ascii_chart.dir/test_ascii_chart.cpp.o.d"
+  "test_ascii_chart"
+  "test_ascii_chart.pdb"
+  "test_ascii_chart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascii_chart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_belief_kkt.dir/test_belief_kkt.cpp.o"
+  "CMakeFiles/test_belief_kkt.dir/test_belief_kkt.cpp.o.d"
+  "test_belief_kkt"
+  "test_belief_kkt.pdb"
+  "test_belief_kkt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_belief_kkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_belief_kkt.
+# This may be replaced when dependencies are built.

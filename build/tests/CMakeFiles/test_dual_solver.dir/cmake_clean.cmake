@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_solver.dir/test_dual_solver.cpp.o"
+  "CMakeFiles/test_dual_solver.dir/test_dual_solver.cpp.o.d"
+  "test_dual_solver"
+  "test_dual_solver.pdb"
+  "test_dual_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

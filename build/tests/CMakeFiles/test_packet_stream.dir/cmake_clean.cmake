@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_stream.dir/test_packet_stream.cpp.o"
+  "CMakeFiles/test_packet_stream.dir/test_packet_stream.cpp.o.d"
+  "test_packet_stream"
+  "test_packet_stream.pdb"
+  "test_packet_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

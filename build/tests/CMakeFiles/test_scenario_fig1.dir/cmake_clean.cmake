@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_fig1.dir/test_scenario_fig1.cpp.o"
+  "CMakeFiles/test_scenario_fig1.dir/test_scenario_fig1.cpp.o.d"
+  "test_scenario_fig1"
+  "test_scenario_fig1.pdb"
+  "test_scenario_fig1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_fig1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensing_schedule.dir/test_sensing_schedule.cpp.o"
+  "CMakeFiles/test_sensing_schedule.dir/test_sensing_schedule.cpp.o.d"
+  "test_sensing_schedule"
+  "test_sensing_schedule.pdb"
+  "test_sensing_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensing_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

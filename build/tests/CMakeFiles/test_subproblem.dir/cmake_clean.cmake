@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subproblem.dir/test_subproblem.cpp.o"
+  "CMakeFiles/test_subproblem.dir/test_subproblem.cpp.o.d"
+  "test_subproblem"
+  "test_subproblem.pdb"
+  "test_subproblem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subproblem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

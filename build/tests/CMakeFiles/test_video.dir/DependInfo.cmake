@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_video.cpp" "tests/CMakeFiles/test_video.dir/test_video.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/test_video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/femtocr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/femtocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

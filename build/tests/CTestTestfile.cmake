@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_spectrum[1]_include.cmake")
+include("/root/repo/build/tests/test_phy[1]_include.cmake")
+include("/root/repo/build/tests/test_video[1]_include.cmake")
+include("/root/repo/build/tests/test_packet_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_subproblem[1]_include.cmake")
+include("/root/repo/build/tests/test_waterfill[1]_include.cmake")
+include("/root/repo/build/tests/test_dual_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_greedy[1]_include.cmake")
+include("/root/repo/build/tests/test_heuristics[1]_include.cmake")
+include("/root/repo/build/tests/test_scheme[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario_fig1[1]_include.cmake")
+include("/root/repo/build/tests/test_ascii_chart[1]_include.cmake")
+include("/root/repo/build/tests/test_mobility[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_qos[1]_include.cmake")
+include("/root/repo/build/tests/test_sensing_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_belief_kkt[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femtocr_cli.dir/femtocr_sim.cpp.o"
+  "CMakeFiles/femtocr_cli.dir/femtocr_sim.cpp.o.d"
+  "femtocr_sim"
+  "femtocr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femtocr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
