@@ -9,6 +9,7 @@ double delta_weighted_degree(const std::vector<GreedyStep>& steps) {
   double weighted = 0.0;
   double total = 0.0;
   for (const auto& s : steps) {
+    FEMTOCR_DCHECK_FINITE(s.delta, "greedy step gain must be finite");
     const double d = util::pos(s.delta);  // guard tiny negative solver noise
     weighted += static_cast<double>(s.degree) * d;
     total += d;
@@ -18,12 +19,16 @@ double delta_weighted_degree(const std::vector<GreedyStep>& steps) {
 }
 
 double upper_bound_tight(double q_greedy, double q_empty, double d_bar) {
-  FEMTOCR_CHECK(d_bar >= 0.0, "Dbar must be nonnegative");
+  FEMTOCR_CHECK_GE(d_bar, 0.0, "Dbar must be nonnegative");
+  FEMTOCR_CHECK_FINITE(q_greedy, "greedy objective must be finite");
+  FEMTOCR_CHECK_FINITE(q_empty, "baseline objective must be finite");
   const double gain = util::pos(q_greedy - q_empty);
   return q_empty + (1.0 + d_bar) * gain;
 }
 
 double upper_bound_dmax(double q_greedy, double q_empty, std::size_t dmax) {
+  FEMTOCR_CHECK_FINITE(q_greedy, "greedy objective must be finite");
+  FEMTOCR_CHECK_FINITE(q_empty, "baseline objective must be finite");
   const double gain = util::pos(q_greedy - q_empty);
   return q_empty + (1.0 + static_cast<double>(dmax)) * gain;
 }

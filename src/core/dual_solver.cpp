@@ -86,6 +86,7 @@ DualResult solve_dual(const SlotContext& ctx,
     // Eq. (16)/(18)/(19): lambda_i <- [lambda_i - s (1 - sum_j rho_ij)]^+.
     for (std::size_t i = 0; i < num_prices; ++i) {
       next[i] = util::pos(lambda[i] - options.step_size * (1.0 - sums[i]));
+      FEMTOCR_DCHECK_FINITE(next[i], "dual price diverged mid-iteration");
     }
     const double movement = util::squared_distance(next, lambda);
     lambda = next;
@@ -104,6 +105,34 @@ DualResult solve_dual(const SlotContext& ctx,
   result.allocation.upper_bound = result.allocation.objective;
   result.allocation.dual_iterations = result.iterations;
   result.lambda = std::move(lambda);
+
+  // Exit contracts: finite nonnegative prices, and a primal point that is
+  // feasible for problem (12) — shares in range, per-resource sums within
+  // the slot budget (rescale_to_budgets just enforced this).
+  for (const double l : result.lambda) {
+    FEMTOCR_CHECK_FINITE(l, "converged Lagrange multiplier must be finite");
+    FEMTOCR_CHECK_GE(l, 0.0, "Lagrange multipliers live on the cone");
+  }
+  FEMTOCR_CHECK_FINITE(result.allocation.objective,
+                       "recovered primal objective must be finite");
+#if FEMTOCR_DCHECK_IS_ON()
+  {
+    double sum_mbs = 0.0;
+    std::vector<double> sum_fbs(ctx.num_fbs, 0.0);
+    for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+      FEMTOCR_DCHECK_GE(result.allocation.rho_mbs[j], 0.0,
+                        "slot shares are nonnegative");
+      FEMTOCR_DCHECK_GE(result.allocation.rho_fbs[j], 0.0,
+                        "slot shares are nonnegative");
+      sum_mbs += result.allocation.rho_mbs[j];
+      sum_fbs[ctx.users[j].fbs] += result.allocation.rho_fbs[j];
+    }
+    FEMTOCR_DCHECK_LE(sum_mbs, 1.0 + 1e-9, "MBS slot budget violated");
+    for (const double s : sum_fbs) {
+      FEMTOCR_DCHECK_LE(s, 1.0 + 1e-9, "FBS slot budget violated");
+    }
+  }
+#endif
 
   // Every FBS holds its assigned expected channel count; the channel id
   // lists are the caller's to fill (they depend on how gt was produced).

@@ -58,6 +58,10 @@ ExactResult exact_allocate(const SlotContext& ctx, bool exhaustive_assignment,
   }
 
   result.allocation.upper_bound = result.allocation.objective;
+  FEMTOCR_CHECK_FINITE(result.allocation.objective,
+                       "exact search must end on a finite objective");
+  FEMTOCR_DCHECK(result.allocation.feasible(ctx),
+                 "exact search returned an infeasible allocation");
   return result;
 }
 

@@ -12,6 +12,9 @@ namespace femtocr::core {
 
 GreedyResult greedy_allocate(const SlotContext& ctx) {
   ctx.validate();
+  for (const double p : ctx.posterior) {
+    FEMTOCR_CHECK_PROB(p, "channel availability posterior out of range");
+  }
   GreedyResult result;
 
   // Candidate pairs (FBS, position into ctx.available). FBSs without users
@@ -81,6 +84,23 @@ GreedyResult greedy_allocate(const SlotContext& ctx) {
                                        ctx.graph->max_degree());
   current.upper_bound = result.bound_tight;
   current.objective_empty = result.q_empty;
+
+  // Theorem 2 exit contracts, per slot. The greedy value sits between the
+  // channel-free baseline and both upper bounds, and the Dbar-weighted
+  // bound never exceeds the Dmax one (Dbar <= Dmax by construction); i.e.
+  // Q_greedy - Q_empty >= (Q_ub - Q_empty) / (1 + Dmax) holds exactly.
+  FEMTOCR_CHECK_FINITE(current.objective, "greedy objective must be finite");
+  FEMTOCR_CHECK_GE(current.objective, result.q_empty - 1e-9,
+                   "adding licensed channels must never hurt");
+  FEMTOCR_CHECK_GE(result.bound_tight, current.objective - 1e-9,
+                   "Eq. (23) bound must dominate the greedy value");
+  FEMTOCR_CHECK_GE(result.bound_dmax, result.bound_tight - 1e-9,
+                   "Dmax bound must dominate the Dbar bound");
+  FEMTOCR_DCHECK_GE(result.d_bar, 0.0, "Dbar is a convex combination");
+  FEMTOCR_DCHECK_LE(
+      result.d_bar, static_cast<double>(ctx.graph->max_degree()) + 1e-12,
+      "Dbar is a convex combination of degrees");
+
   result.allocation = std::move(current);
   return result;
 }

@@ -92,6 +92,25 @@ KktReport check_kkt(const SlotContext& ctx,
         std::max(report.assignment_regret, v - base);
     flipped[j] = !flipped[j];
   }
+
+  // The report's residuals are diagnostics consumed by tests and benches:
+  // they must come back finite, and the max-accumulated ones nonnegative.
+  FEMTOCR_CHECK_FINITE(report.stationarity_residual,
+                       "KKT stationarity residual must be finite");
+  FEMTOCR_CHECK_FINITE(report.slack_residual,
+                       "KKT complementary-slackness residual must be finite");
+  FEMTOCR_CHECK_FINITE(report.exclusion_residual,
+                       "KKT exclusion residual must be finite");
+  FEMTOCR_CHECK_FINITE(report.budget_violation,
+                       "KKT budget violation must be finite");
+  FEMTOCR_CHECK_FINITE(report.assignment_regret,
+                       "KKT assignment regret must be finite");
+  FEMTOCR_DCHECK_GE(report.stationarity_residual, 0.0,
+                    "stationarity residual is a max of ratios");
+  FEMTOCR_DCHECK_GE(report.slack_residual, 0.0,
+                    "slack residual is a max of [.]^+ terms");
+  FEMTOCR_DCHECK_GE(report.exclusion_residual, 0.0,
+                    "exclusion residual is a max of [.]^+ terms");
   return report;
 }
 

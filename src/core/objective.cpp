@@ -8,14 +8,16 @@
 namespace femtocr::core {
 
 double mbs_term(const UserState& u, double rho) {
-  FEMTOCR_CHECK(rho >= 0.0, "slot share must be nonnegative");
+  FEMTOCR_CHECK_GE(rho, 0.0, "slot share must be nonnegative");
+  FEMTOCR_DCHECK_PROB(u.success_mbs, "MBS success probability out of range");
   return u.success_mbs * std::log(u.psnr + rho * u.rate_mbs) +
          (1.0 - u.success_mbs) * std::log(u.psnr);
 }
 
 double fbs_term(const UserState& u, double rho, double g) {
-  FEMTOCR_CHECK(rho >= 0.0, "slot share must be nonnegative");
-  FEMTOCR_CHECK(g >= 0.0, "expected channel count must be nonnegative");
+  FEMTOCR_CHECK_GE(rho, 0.0, "slot share must be nonnegative");
+  FEMTOCR_CHECK_GE(g, 0.0, "expected channel count must be nonnegative");
+  FEMTOCR_DCHECK_PROB(u.success_fbs, "FBS success probability out of range");
   return u.success_fbs * std::log(u.psnr + rho * g * u.rate_fbs) +
          (1.0 - u.success_fbs) * std::log(u.psnr);
 }

@@ -9,6 +9,8 @@ namespace femtocr::core {
 
 double best_share(double success, double psnr, double rate, double lambda) {
   FEMTOCR_CHECK(psnr > 0.0, "PSNR state must be positive");
+  FEMTOCR_DCHECK_PROB(success, "success probability out of range");
+  FEMTOCR_DCHECK_FINITE(lambda, "resource price must be finite");
   if (rate <= 0.0 || success <= 0.0) return 0.0;
   if (lambda <= 0.0) return kRhoCap;  // free resource: take the cap
   // d/drho [S log(W + rho R) - lambda rho] = S R/(W + rho R) - lambda = 0.

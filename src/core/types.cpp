@@ -28,16 +28,17 @@ void SlotContext::validate() const {
                 "interference graph size must equal num_fbs");
   for (const auto& u : users) {
     FEMTOCR_CHECK(u.psnr > 0.0, "user PSNR state must be positive");
+    FEMTOCR_CHECK_FINITE(u.psnr, "user PSNR state must be finite");
     FEMTOCR_CHECK(u.fbs < num_fbs, "user associated with unknown FBS");
-    FEMTOCR_CHECK(u.success_mbs >= 0.0 && u.success_mbs <= 1.0,
-                  "MBS success probability out of range");
-    FEMTOCR_CHECK(u.success_fbs >= 0.0 && u.success_fbs <= 1.0,
-                  "FBS success probability out of range");
-    FEMTOCR_CHECK(u.rate_mbs >= 0.0 && u.rate_fbs >= 0.0,
-                  "rate constants must be nonnegative");
+    FEMTOCR_CHECK_PROB(u.success_mbs, "MBS success probability out of range");
+    FEMTOCR_CHECK_PROB(u.success_fbs, "FBS success probability out of range");
+    FEMTOCR_CHECK_GE(u.rate_mbs, 0.0, "rate constants must be nonnegative");
+    FEMTOCR_CHECK_GE(u.rate_fbs, 0.0, "rate constants must be nonnegative");
+    FEMTOCR_CHECK_FINITE(u.rate_mbs, "rate constants must be finite");
+    FEMTOCR_CHECK_FINITE(u.rate_fbs, "rate constants must be finite");
   }
   for (double p : posterior) {
-    FEMTOCR_CHECK(p >= 0.0 && p <= 1.0, "posterior out of range");
+    FEMTOCR_CHECK_PROB(p, "posterior out of range");
   }
 }
 

@@ -17,6 +17,13 @@ double waterfill_resource(const SlotContext& ctx,
                           std::vector<double>& rho_out) {
   FEMTOCR_CHECK(users.size() == rates.size() && users.size() == successes.size(),
                 "user, rate and success lists must align");
+#if FEMTOCR_DCHECK_IS_ON()
+  for (std::size_t k = 0; k < users.size(); ++k) {
+    FEMTOCR_DCHECK_PROB(successes[k], "success probability out of range");
+    FEMTOCR_DCHECK_GE(rates[k], 0.0, "effective rate must be nonnegative");
+    FEMTOCR_DCHECK_FINITE(rates[k], "effective rate must be finite");
+  }
+#endif
   rho_out.assign(users.size(), 0.0);
   if (users.empty()) return 0.0;
 
@@ -57,7 +64,12 @@ double waterfill_resource(const SlotContext& ctx,
       hi = mid;
     }
   }
-  shares_at(hi);  // final shares at the feasible side of the bracket
+  const double sum = shares_at(hi);  // final shares, feasible bracket side
+  // KKT exit contracts: a finite positive water level and a primal point
+  // inside the slot budget (the bisection maintained shares_at(hi) <= 1).
+  FEMTOCR_CHECK_FINITE(hi, "water-filling level must be finite");
+  FEMTOCR_DCHECK_LE(sum, 1.0 + 1e-9, "water-filled shares exceed the slot");
+  FEMTOCR_DCHECK_GE(hi, 0.0, "water-filling price must be nonnegative");
   return hi;
 }
 
@@ -115,6 +127,8 @@ SlotAllocation evaluate_assignment(const SlotContext& ctx,
 
   alloc.objective = slot_objective(ctx, alloc);
   alloc.upper_bound = alloc.objective;
+  FEMTOCR_DCHECK_FINITE(alloc.objective,
+                        "water-filled slot objective must be finite");
   return alloc;
 }
 

@@ -16,6 +16,35 @@ net::Topology build_topology(const Scenario& s) {
   return net::Topology(s.mbs, s.fbss, s.users, s.radio, std::move(graph));
 }
 
+#if FEMTOCR_DCHECK_IS_ON()
+/// Per-slot contracts on whatever the scheme handed back: shapes aligned
+/// with the context, nonnegative time shares whose per-resource sums stay
+/// within the slot, and an Eq.-(23) upper bound that actually dominates the
+/// achieved objective. Runs every slot under FEMTOCR_DCHECK builds only.
+void dcheck_slot_allocation(const core::SlotContext& ctx,
+                            const core::SlotAllocation& alloc) {
+  const std::size_t K = ctx.users.size();
+  FEMTOCR_CHECK(alloc.use_mbs.size() == K && alloc.rho_mbs.size() == K &&
+                    alloc.rho_fbs.size() == K,
+                "scheme returned a mis-shaped allocation");
+  double sum_mbs = 0.0;
+  std::vector<double> sum_fbs(ctx.num_fbs, 0.0);
+  for (std::size_t j = 0; j < K; ++j) {
+    FEMTOCR_CHECK_GE(alloc.rho_mbs[j], 0.0, "negative MBS time share");
+    FEMTOCR_CHECK_GE(alloc.rho_fbs[j], 0.0, "negative FBS time share");
+    sum_mbs += alloc.rho_mbs[j];
+    sum_fbs[ctx.users[j].fbs] += alloc.rho_fbs[j];
+  }
+  FEMTOCR_CHECK_LE(sum_mbs, 1.0 + 1e-6, "MBS slot budget violated");
+  for (const double s : sum_fbs) {
+    FEMTOCR_CHECK_LE(s, 1.0 + 1e-6, "FBS slot budget violated");
+  }
+  FEMTOCR_CHECK_FINITE(alloc.objective, "slot objective must be finite");
+  FEMTOCR_CHECK_GE(alloc.upper_bound, alloc.objective - 1e-9,
+                   "per-slot upper bound fails to dominate the objective");
+}
+#endif
+
 }  // namespace
 
 Simulator::Simulator(const Scenario& scenario, core::SchemeKind kind,
@@ -144,6 +173,9 @@ RunResult Simulator::run() {
 
     core::SlotContext ctx = make_context(obs, fading_rng);
     const core::SlotAllocation alloc = scheme_->allocate(ctx);
+#if FEMTOCR_DCHECK_IS_ON()
+    dcheck_slot_allocation(ctx, alloc);
+#endif
     result.total_dual_iterations += alloc.dual_iterations;
 
     SlotTraceEntry trace_entry;
@@ -221,6 +253,8 @@ RunResult Simulator::run() {
                                     slot_seconds;
         if (ok) increment = alloc.rho_fbs[j] * g * u.rate_fbs;
       }
+      FEMTOCR_DCHECK_FINITE(increment, "delivered PSNR increment is NaN/inf");
+      FEMTOCR_DCHECK_GE(increment, 0.0, "delivered PSNR increment negative");
       sessions_[j].deliver(increment);
       if (packet_mode) {
         const auto capacity_bits = static_cast<std::size_t>(

@@ -12,14 +12,18 @@ BeliefTracker::BeliefTracker(std::vector<MarkovParams> params)
   for (const auto& p : params_) {
     p.validate();
     belief_.push_back(1.0 - p.utilization());
+    FEMTOCR_CHECK_PROB(belief_.back(), "initial idle belief out of range");
   }
 }
 
 double BeliefTracker::predicted_idle(std::size_t m) const {
   FEMTOCR_CHECK(m < size(), "channel index out of range");
   const MarkovParams& p = params_[m];
-  // Pr{idle next} = Pr{idle now} (1 - P01) + Pr{busy now} P10.
-  return belief_[m] * (1.0 - p.p01) + (1.0 - belief_[m]) * p.p10;
+  // Pr{idle next} = Pr{idle now} (1 - P01) + Pr{busy now} P10. A convex
+  // combination of probabilities, so the result is again in [0, 1].
+  const double next = belief_[m] * (1.0 - p.p01) + (1.0 - belief_[m]) * p.p10;
+  FEMTOCR_DCHECK_PROB(next, "predicted idle belief left [0, 1]");
+  return next;
 }
 
 void BeliefTracker::predict() {
@@ -35,6 +39,7 @@ double BeliefTracker::update(std::size_t m,
   // 1 - b plays the role of eta.
   const double prior_busy = util::clamp(1.0 - belief_[m], 0.0, 1.0 - 1e-12);
   belief_[m] = posterior_idle(prior_busy, reports);
+  FEMTOCR_CHECK_PROB(belief_[m], "posterior idle belief left [0, 1]");
   return belief_[m];
 }
 

@@ -19,8 +19,8 @@ MarkovParams MarkovParams::from_utilization(double eta, double mixing) {
 }
 
 void MarkovParams::validate() const {
-  FEMTOCR_CHECK(p01 >= 0.0 && p01 <= 1.0, "p01 must be a probability");
-  FEMTOCR_CHECK(p10 >= 0.0 && p10 <= 1.0, "p10 must be a probability");
+  FEMTOCR_CHECK_PROB(p01, "p01 must be a probability");
+  FEMTOCR_CHECK_PROB(p10, "p10 must be a probability");
   FEMTOCR_CHECK(p01 + p10 > 0.0, "chain must not be frozen (p01 + p10 > 0)");
 }
 

@@ -26,10 +26,8 @@ double busy_to_idle_likelihood_ratio(const SensingReport& r) {
 }  // namespace
 
 void SensorModel::validate() const {
-  FEMTOCR_CHECK(false_alarm >= 0.0 && false_alarm <= 1.0,
-                "false-alarm probability out of range");
-  FEMTOCR_CHECK(miss_detection >= 0.0 && miss_detection <= 1.0,
-                "miss-detection probability out of range");
+  FEMTOCR_CHECK_PROB(false_alarm, "false-alarm probability out of range");
+  FEMTOCR_CHECK_PROB(miss_detection, "miss-detection probability out of range");
 }
 
 int SensorModel::sense(bool busy, util::Rng& rng) const {
@@ -45,7 +43,9 @@ double posterior_idle_single(double eta, const SensingReport& report) {
                 "sensing report must be binary");
   // Eq. (3): P^A = [1 + eta/(1-eta) * ratio]^{-1}.
   const double odds = eta / (1.0 - eta) * busy_to_idle_likelihood_ratio(report);
-  return 1.0 / (1.0 + odds);
+  const double posterior = 1.0 / (1.0 + odds);
+  FEMTOCR_DCHECK_PROB(posterior, "single-report posterior left [0, 1]");
+  return posterior;
 }
 
 double posterior_idle_update(double prev, const SensingReport& report) {
@@ -66,7 +66,9 @@ double posterior_idle(double eta, const std::vector<SensingReport>& reports) {
     FEMTOCR_CHECK(r.theta == 0 || r.theta == 1, "sensing report must be binary");
     odds *= busy_to_idle_likelihood_ratio(r);
   }
-  return 1.0 / (1.0 + odds);
+  const double posterior = 1.0 / (1.0 + odds);
+  FEMTOCR_DCHECK_PROB(posterior, "fused posterior left [0, 1]");
+  return posterior;
 }
 
 double posterior_idle(double eta, const SensorModel& model,

@@ -1,12 +1,34 @@
 // Contract-checking macros for the femtocr library.
 //
-// FEMTOCR_CHECK(cond, msg)  — precondition / invariant check that is always
-// active (benches included): failures indicate a programming error or an
-// invalid configuration, and throw std::logic_error with file:line context.
-// These guards sit on construction and configuration paths, not in per-slot
-// hot loops, so the cost is negligible.
+// Two severities:
+//
+//   FEMTOCR_CHECK*  — always active (benches included). Failures indicate a
+//   programming error or an invalid configuration and throw std::logic_error
+//   with file:line context and the offending values. These guards sit on
+//   construction, configuration, and solver entry/exit paths, not in
+//   per-slot hot loops, so the cost is negligible.
+//
+//   FEMTOCR_DCHECK* — the same contracts, compiled out in optimized builds
+//   (any build defining NDEBUG) unless FEMTOCR_ENABLE_DCHECK is defined
+//   (CMake: -DFEMTOCR_DCHECK=ON). These may sit in hot loops: per-iteration
+//   finiteness of dual prices, per-slot budget sums, belief ranges.
+//
+// Variants (each has a FEMTOCR_DCHECK_* twin):
+//
+//   FEMTOCR_CHECK(cond, msg)          — bare condition
+//   FEMTOCR_CHECK_GE(a, b, msg)       — a >= b, values printed on failure
+//   FEMTOCR_CHECK_LE(a, b, msg)       — a <= b, values printed on failure
+//   FEMTOCR_CHECK_NEAR(a, b, tol, msg)— |a - b| <= tol
+//   FEMTOCR_CHECK_FINITE(x, msg)      — std::isfinite(x): rejects NaN/inf
+//   FEMTOCR_CHECK_PROB(x, msg)        — finite and within [0, 1]
+//
+// Macro arguments are evaluated exactly once (captured into locals), so
+// side-effecting expressions are safe in CHECK variants; DCHECK variants do
+// NOT evaluate their arguments when compiled out — never put required side
+// effects inside any contract macro.
 #pragma once
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -21,6 +43,32 @@ namespace femtocr::util {
   throw std::logic_error(oss.str());
 }
 
+namespace detail {
+
+/// Failure path for the two-operand comparison checks: renders both operand
+/// expressions with their runtime values so a failed contract in a long
+/// simulation is diagnosable from the exception text alone.
+template <typename A, typename B>
+[[noreturn]] void check_cmp_failed(const char* op, const char* a_expr,
+                                   const A& a, const char* b_expr, const B& b,
+                                   const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream oss;
+  oss << a_expr << " (= " << a << ") " << op << ' ' << b_expr << " (= " << b
+      << ')';
+  check_failed(oss.str().c_str(), file, line, msg);
+}
+
+template <typename T>
+[[noreturn]] void check_value_failed(const char* what, const char* expr,
+                                     const T& value, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << expr << " (= " << value << ") " << what;
+  check_failed(oss.str().c_str(), file, line, msg);
+}
+
+}  // namespace detail
 }  // namespace femtocr::util
 
 #define FEMTOCR_CHECK(cond, msg)                                          \
@@ -29,3 +77,85 @@ namespace femtocr::util {
       ::femtocr::util::check_failed(#cond, __FILE__, __LINE__, (msg));    \
     }                                                                     \
   } while (false)
+
+#define FEMTOCR_CHECK_GE(a, b, msg)                                       \
+  do {                                                                    \
+    const auto femtocr_chk_a_ = (a);                                      \
+    const auto femtocr_chk_b_ = (b);                                      \
+    if (!(femtocr_chk_a_ >= femtocr_chk_b_)) {                            \
+      ::femtocr::util::detail::check_cmp_failed(                          \
+          ">=", #a, femtocr_chk_a_, #b, femtocr_chk_b_, __FILE__,         \
+          __LINE__, (msg));                                               \
+    }                                                                     \
+  } while (false)
+
+#define FEMTOCR_CHECK_LE(a, b, msg)                                       \
+  do {                                                                    \
+    const auto femtocr_chk_a_ = (a);                                      \
+    const auto femtocr_chk_b_ = (b);                                      \
+    if (!(femtocr_chk_a_ <= femtocr_chk_b_)) {                            \
+      ::femtocr::util::detail::check_cmp_failed(                          \
+          "<=", #a, femtocr_chk_a_, #b, femtocr_chk_b_, __FILE__,         \
+          __LINE__, (msg));                                               \
+    }                                                                     \
+  } while (false)
+
+#define FEMTOCR_CHECK_NEAR(a, b, tol, msg)                                \
+  do {                                                                    \
+    const double femtocr_chk_a_ = (a);                                    \
+    const double femtocr_chk_b_ = (b);                                    \
+    const double femtocr_chk_tol_ = (tol);                                \
+    if (!(std::fabs(femtocr_chk_a_ - femtocr_chk_b_) <=                   \
+          femtocr_chk_tol_)) {                                            \
+      ::femtocr::util::detail::check_cmp_failed(                          \
+          "≈", #a, femtocr_chk_a_, #b, femtocr_chk_b_, __FILE__,          \
+          __LINE__, (msg));                                               \
+    }                                                                     \
+  } while (false)
+
+#define FEMTOCR_CHECK_FINITE(x, msg)                                      \
+  do {                                                                    \
+    const double femtocr_chk_x_ = (x);                                    \
+    if (!std::isfinite(femtocr_chk_x_)) {                                 \
+      ::femtocr::util::detail::check_value_failed(                        \
+          "is not finite", #x, femtocr_chk_x_, __FILE__, __LINE__,        \
+          (msg));                                                         \
+    }                                                                     \
+  } while (false)
+
+#define FEMTOCR_CHECK_PROB(x, msg)                                        \
+  do {                                                                    \
+    const double femtocr_chk_x_ = (x);                                    \
+    if (!(femtocr_chk_x_ >= 0.0 && femtocr_chk_x_ <= 1.0)) {              \
+      ::femtocr::util::detail::check_value_failed(                        \
+          "is not a probability in [0, 1]", #x, femtocr_chk_x_,           \
+          __FILE__, __LINE__, (msg));                                     \
+    }                                                                     \
+  } while (false)
+
+// Debug-only twins. Active when NDEBUG is absent (Debug builds) or when
+// FEMTOCR_ENABLE_DCHECK is defined explicitly (-DFEMTOCR_DCHECK=ON), e.g.
+// in the sanitizer CI job. When inactive, arguments are parsed but never
+// evaluated — `sizeof` keeps variables odr-used so -Wunused stays quiet.
+#if !defined(NDEBUG) || defined(FEMTOCR_ENABLE_DCHECK)
+#define FEMTOCR_DCHECK_IS_ON() 1
+#define FEMTOCR_DCHECK(cond, msg) FEMTOCR_CHECK(cond, msg)
+#define FEMTOCR_DCHECK_GE(a, b, msg) FEMTOCR_CHECK_GE(a, b, msg)
+#define FEMTOCR_DCHECK_LE(a, b, msg) FEMTOCR_CHECK_LE(a, b, msg)
+#define FEMTOCR_DCHECK_NEAR(a, b, tol, msg) FEMTOCR_CHECK_NEAR(a, b, tol, msg)
+#define FEMTOCR_DCHECK_FINITE(x, msg) FEMTOCR_CHECK_FINITE(x, msg)
+#define FEMTOCR_DCHECK_PROB(x, msg) FEMTOCR_CHECK_PROB(x, msg)
+#else
+#define FEMTOCR_DCHECK_IS_ON() 0
+#define FEMTOCR_DCHECK_DISCARD_(...)                                      \
+  do {                                                                    \
+    (void)sizeof((__VA_ARGS__, 0));                                       \
+  } while (false)
+#define FEMTOCR_DCHECK(cond, msg) FEMTOCR_DCHECK_DISCARD_((cond), (msg))
+#define FEMTOCR_DCHECK_GE(a, b, msg) FEMTOCR_DCHECK_DISCARD_((a), (b), (msg))
+#define FEMTOCR_DCHECK_LE(a, b, msg) FEMTOCR_DCHECK_DISCARD_((a), (b), (msg))
+#define FEMTOCR_DCHECK_NEAR(a, b, tol, msg) \
+  FEMTOCR_DCHECK_DISCARD_((a), (b), (tol), (msg))
+#define FEMTOCR_DCHECK_FINITE(x, msg) FEMTOCR_DCHECK_DISCARD_((x), (msg))
+#define FEMTOCR_DCHECK_PROB(x, msg) FEMTOCR_DCHECK_DISCARD_((x), (msg))
+#endif

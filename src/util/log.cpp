@@ -25,7 +25,8 @@ LogLevel log_level() { return g_level; }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level < g_level || g_level == LogLevel::kOff) return;
-  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+  // The logger is the one sanctioned console sink in the library.
+  std::cerr << '[' << level_name(level) << "] " << msg << '\n';  // lint-allow: no-stdio
 }
 
 }  // namespace femtocr::util

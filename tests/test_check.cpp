@@ -1,0 +1,153 @@
+// Throw tests for the FEMTOCR_CHECK_* contract family and its
+// FEMTOCR_DCHECK_* twins, plus message-content checks: a contract that
+// fires deep inside a thousand-slot simulation must be diagnosable from
+// the exception text alone (expression, values, file:line).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "util/check.h"
+
+namespace femtocr {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Runs `fn`, expecting a contract failure; returns the exception text.
+template <typename Fn>
+std::string contract_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::logic_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "contract did not fire";
+  return {};
+}
+
+TEST(Check, PassingConditionsAreSilent) {
+  EXPECT_NO_THROW(FEMTOCR_CHECK(true, "never fires"));
+  EXPECT_NO_THROW(FEMTOCR_CHECK_GE(2.0, 1.0, ""));
+  EXPECT_NO_THROW(FEMTOCR_CHECK_GE(1.0, 1.0, "boundary is inclusive"));
+  EXPECT_NO_THROW(FEMTOCR_CHECK_LE(1.0, 2.0, ""));
+  EXPECT_NO_THROW(FEMTOCR_CHECK_LE(2.0, 2.0, "boundary is inclusive"));
+  EXPECT_NO_THROW(FEMTOCR_CHECK_NEAR(1.0, 1.0 + 1e-12, 1e-9, ""));
+  EXPECT_NO_THROW(FEMTOCR_CHECK_FINITE(0.0, ""));
+  EXPECT_NO_THROW(FEMTOCR_CHECK_FINITE(-1e300, ""));
+  EXPECT_NO_THROW(FEMTOCR_CHECK_PROB(0.0, "closed interval"));
+  EXPECT_NO_THROW(FEMTOCR_CHECK_PROB(1.0, "closed interval"));
+  EXPECT_NO_THROW(FEMTOCR_CHECK_PROB(0.5, ""));
+}
+
+TEST(Check, BareCheckThrowsLogicError) {
+  EXPECT_THROW(FEMTOCR_CHECK(1 + 1 == 3, "arithmetic"), std::logic_error);
+  const std::string msg = contract_message(
+      [] { FEMTOCR_CHECK(1 + 1 == 3, "broken arithmetic"); });
+  EXPECT_NE(msg.find("1 + 1 == 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("broken arithmetic"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("test_check.cpp"), std::string::npos) << msg;
+}
+
+TEST(Check, GeThrowsAndPrintsBothValues) {
+  EXPECT_THROW(FEMTOCR_CHECK_GE(0.5, 1.5, "too small"), std::logic_error);
+  const double lambda = -0.25;
+  const std::string msg = contract_message(
+      [&] { FEMTOCR_CHECK_GE(lambda, 0.0, "price went negative"); });
+  EXPECT_NE(msg.find("-0.25"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("lambda"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("price went negative"), std::string::npos) << msg;
+}
+
+TEST(Check, LeThrowsAndPrintsBothValues) {
+  EXPECT_THROW(FEMTOCR_CHECK_LE(2.0, 1.0, "budget"), std::logic_error);
+  const double sum = 1.125;
+  const std::string msg = contract_message(
+      [&] { FEMTOCR_CHECK_LE(sum, 1.0, "slot budget violated"); });
+  EXPECT_NE(msg.find("1.125"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("slot budget violated"), std::string::npos) << msg;
+}
+
+TEST(Check, NearRespectsToleranceBothWays) {
+  EXPECT_NO_THROW(FEMTOCR_CHECK_NEAR(1.0, 1.05, 0.1, ""));
+  EXPECT_THROW(FEMTOCR_CHECK_NEAR(1.0, 1.2, 0.1, "drifted"),
+               std::logic_error);
+  EXPECT_THROW(FEMTOCR_CHECK_NEAR(1.2, 1.0, 0.1, "drifted"),
+               std::logic_error);
+  // NaN is never near anything — the contract must fire, not pass silently.
+  EXPECT_THROW(FEMTOCR_CHECK_NEAR(kNan, 0.0, 1e9, "nan"), std::logic_error);
+}
+
+TEST(Check, FiniteRejectsNanAndBothInfinities) {
+  EXPECT_THROW(FEMTOCR_CHECK_FINITE(kNan, "nan"), std::logic_error);
+  EXPECT_THROW(FEMTOCR_CHECK_FINITE(kInf, "inf"), std::logic_error);
+  EXPECT_THROW(FEMTOCR_CHECK_FINITE(-kInf, "-inf"), std::logic_error);
+  const std::string msg =
+      contract_message([] { FEMTOCR_CHECK_FINITE(0.0 / 0.0, "div"); });
+  EXPECT_NE(msg.find("is not finite"), std::string::npos) << msg;
+}
+
+TEST(Check, ProbRejectsOutOfRangeAndNan) {
+  EXPECT_THROW(FEMTOCR_CHECK_PROB(-1e-9, "below"), std::logic_error);
+  EXPECT_THROW(FEMTOCR_CHECK_PROB(1.0 + 1e-9, "above"), std::logic_error);
+  EXPECT_THROW(FEMTOCR_CHECK_PROB(kNan, "nan"), std::logic_error);
+  const std::string msg =
+      contract_message([] { FEMTOCR_CHECK_PROB(1.5, "belief"); });
+  EXPECT_NE(msg.find("1.5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("not a probability"), std::string::npos) << msg;
+}
+
+TEST(Check, ArgumentsEvaluateExactlyOnce) {
+  int evals = 0;
+  const auto bump = [&evals] {
+    ++evals;
+    return 0.5;
+  };
+  FEMTOCR_CHECK_PROB(bump(), "side effect");
+  EXPECT_EQ(evals, 1);
+  evals = 0;
+  FEMTOCR_CHECK_GE(bump(), 0.0, "side effect");
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(DCheck, MatchesBuildConfiguration) {
+#if FEMTOCR_DCHECK_IS_ON()
+  // Debug / FEMTOCR_DCHECK=ON builds: twins behave exactly like CHECKs.
+  EXPECT_THROW(FEMTOCR_DCHECK(false, "on"), std::logic_error);
+  EXPECT_THROW(FEMTOCR_DCHECK_GE(0.0, 1.0, "on"), std::logic_error);
+  EXPECT_THROW(FEMTOCR_DCHECK_LE(1.0, 0.0, "on"), std::logic_error);
+  EXPECT_THROW(FEMTOCR_DCHECK_NEAR(0.0, 1.0, 0.1, "on"), std::logic_error);
+  EXPECT_THROW(FEMTOCR_DCHECK_FINITE(kNan, "on"), std::logic_error);
+  EXPECT_THROW(FEMTOCR_DCHECK_PROB(2.0, "on"), std::logic_error);
+#else
+  // Optimized builds: compiled out entirely — and arguments must NOT be
+  // evaluated (a DCHECK must never be load-bearing).
+  int evals = 0;
+  const auto bump = [&evals] {
+    ++evals;
+    return 2.0;  // out of range: would throw if the twin were active
+  };
+  EXPECT_NO_THROW(FEMTOCR_DCHECK(bump() < 0.0, "off"));
+  EXPECT_NO_THROW(FEMTOCR_DCHECK_GE(0.0, bump(), "off"));
+  EXPECT_NO_THROW(FEMTOCR_DCHECK_LE(bump(), 0.0, "off"));
+  EXPECT_NO_THROW(FEMTOCR_DCHECK_NEAR(0.0, bump(), 0.1, "off"));
+  EXPECT_NO_THROW(FEMTOCR_DCHECK_FINITE(0.0 * kInf, "off"));
+  EXPECT_NO_THROW(FEMTOCR_DCHECK_PROB(bump(), "off"));
+  EXPECT_EQ(evals, 0);
+#endif
+}
+
+TEST(DCheck, PassingContractsAreSilentEitherWay) {
+  EXPECT_NO_THROW(FEMTOCR_DCHECK(true, ""));
+  EXPECT_NO_THROW(FEMTOCR_DCHECK_GE(1.0, 0.0, ""));
+  EXPECT_NO_THROW(FEMTOCR_DCHECK_LE(0.0, 1.0, ""));
+  EXPECT_NO_THROW(FEMTOCR_DCHECK_NEAR(1.0, 1.0, 1e-12, ""));
+  EXPECT_NO_THROW(FEMTOCR_DCHECK_FINITE(1.0, ""));
+  EXPECT_NO_THROW(FEMTOCR_DCHECK_PROB(0.5, ""));
+}
+
+}  // namespace
+}  // namespace femtocr

@@ -5,11 +5,13 @@
 
 #include <algorithm>
 
+#include "core/scheme.h"
 #include "core/waterfill.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "sim/simulator.h"
 #include "test_helpers.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace femtocr {
@@ -100,6 +102,29 @@ TEST(Invariants, ZeroCollisionBudgetMeansNoCollisions) {
   // nothing is ever accessed and nothing can collide.
   EXPECT_DOUBLE_EQ(res.collision_rate.mean(), 0.0);
   EXPECT_DOUBLE_EQ(res.avg_available.mean(), 0.0);
+}
+
+TEST(Invariants, Fig3ScenarioFiresNoContract) {
+  // A small cut of the Fig. 3 single-FBS experiment, run under every
+  // scheme. Every FEMTOCR_CHECK_* on the path (solver entry/exit, belief
+  // ranges, budget sums) — and, in FEMTOCR_DCHECK builds, every per-slot
+  // and per-iteration FEMTOCR_DCHECK_* — must stay silent: a contract
+  // firing on the paper's own scenario means either the contract or the
+  // solver is wrong. (Contracts report by throwing std::logic_error.)
+  for (const auto kind :
+       {core::SchemeKind::kProposed, core::SchemeKind::kHeuristic1,
+        core::SchemeKind::kHeuristic2}) {
+    sim::Scenario s = sim::single_fbs_scenario(/*seed=*/1);
+    s.num_gops = 6;
+    s.finalize();
+    EXPECT_NO_THROW({
+      const auto res = sim::run_experiment(s, kind, /*runs=*/2);
+      EXPECT_GT(res.mean_psnr.mean(), 0.0);
+    }) << "contract fired under scheme "
+       << core::scheme_name(kind)
+       << (FEMTOCR_DCHECK_IS_ON() ? " (DCHECK contracts active)"
+                                  : " (DCHECK contracts compiled out)");
+  }
 }
 
 TEST(Invariants, PerfectLinksDeliverEverythingUnderProposed) {

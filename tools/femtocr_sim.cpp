@@ -5,8 +5,8 @@
 //
 // Examples:
 //   femtocr_sim --scenario=single --runs=10
-//   femtocr_sim --scenario=interfering --sweep=eta --from=0.3 --to=0.7 \
-//               --step=0.1 --runs=10
+//   femtocr_sim --scenario=interfering --sweep=eta --from=0.3 --to=0.7
+//               --step=0.1 --runs=10   (one line; wrapped here for width)
 //   femtocr_sim --config=campus.cfg --scheme=proposed --per-user
 //   femtocr_sim --scenario=single --save-config=baseline.cfg
 //

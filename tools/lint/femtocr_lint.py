@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""femtocr_lint — project-specific lint rules clang-tidy cannot express.
+
+Scans the library sources (``src/``) and enforces:
+
+  layer-dag     #include edges must follow the layer DAG
+                util -> {spectrum, phy, video} -> net -> core -> sim
+                (a lower layer must never include a higher one; siblings
+                may not include each other unless the DAG links them).
+  no-raw-rand   no rand()/srand()/drand48()/random() in library code —
+                randomness flows through util/rng.h so runs stay seedable
+                and reproducible.
+  no-stdio      no std::cout / std::cerr / printf-family output in library
+                code — use util/log.h (the sink in util/log.cpp carries a
+                file-level suppression).
+  no-float-eq   no == / != against floating-point literals — use
+                util::near() from util/mathx.h or an explicit tolerance.
+  pragma-once   every header uses `#pragma once` (and not an
+                #ifndef/#define include guard), consistently with the rest
+                of the tree.
+
+Suppressions:
+  trailing   `// lint-allow: <rule>`        — silences <rule> on that line
+  file-wide  `// lint-allow-file: <rule>`   — anywhere in the first 30
+                                              lines; silences <rule> for
+                                              the whole file
+
+Exit status: 0 when clean, 1 when violations were found (they are printed
+as `path:line: [rule] message`), 2 on usage errors.
+
+`--self-test` runs the rules against the seeded violation fixtures under
+tools/lint/fixtures/ and verifies every rule both fires where it must and
+honours suppressions; CI registers this alongside the tree-wide run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Allowed include edges: layer -> set of layers it may include from.
+# Mirrors target_link_libraries in src/CMakeLists.txt (transitively closed).
+LAYER_DAG = {
+    "util": {"util"},
+    "spectrum": {"spectrum", "util"},
+    "phy": {"phy", "util"},
+    "video": {"video", "util"},
+    "net": {"net", "phy", "util"},
+    "core": {"core", "spectrum", "phy", "video", "net", "util"},
+    "sim": {"sim", "core", "spectrum", "phy", "video", "net", "util"},
+}
+
+RULES = ("layer-dag", "no-raw-rand", "no-stdio", "no-float-eq", "pragma-once")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+RAND_RE = re.compile(r"(?<![\w:.])(?:s?rand|drand48|random)\s*\(")
+STDIO_RE = re.compile(
+    r"std::(?:cout|cerr)|(?<![\w:.])f?printf\s*\(|(?<![\w:.])puts\s*\("
+)
+# A float literal (1.0, .5, 1e-9, 1.5e+3) adjacent to == or !=, either side.
+FLOAT_LIT = r"(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)"
+FLOAT_EQ_RE = re.compile(
+    rf"[=!]=\s*{FLOAT_LIT}(?![\w.])|(?<![\w.]){FLOAT_LIT}\s*[=!]="
+)
+GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+_H_?\b")
+ALLOW_LINE_RE = re.compile(r"//\s*lint-allow:\s*([\w,\- ]+)")
+ALLOW_FILE_RE = re.compile(r"//\s*lint-allow-file:\s*([\w,\- ]+)")
+COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_code(line: str) -> str:
+    """Code content of a line: string literals blanked, // comment dropped.
+
+    Block comments are not tracked; the rules target code-shaped tokens
+    (calls, operators) that do not survive string/comment stripping in
+    practice in this tree.
+    """
+    line = STRING_RE.sub('""', line)
+    return COMMENT_RE.sub("", line)
+
+
+class Violation:
+    def __init__(self, path: Path, line: int, rule: str, msg: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.msg = msg
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def allowed_rules(match_text: str) -> set[str]:
+    return {r.strip() for r in match_text.split(",") if r.strip()}
+
+
+def lint_file(path: Path, layer: str | None) -> list[Violation]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        return [Violation(path, 0, "io", f"unreadable: {e}")]
+    lines = text.splitlines()
+
+    file_allow: set[str] = set()
+    for line in lines[:30]:
+        m = ALLOW_FILE_RE.search(line)
+        if m:
+            file_allow |= allowed_rules(m.group(1))
+
+    out: list[Violation] = []
+
+    def report(lineno: int, rule: str, msg: str, raw: str) -> None:
+        if rule in file_allow:
+            return
+        m = ALLOW_LINE_RE.search(raw)
+        if m and rule in allowed_rules(m.group(1)):
+            return
+        out.append(Violation(path, lineno, rule, msg))
+
+    for i, raw in enumerate(lines, start=1):
+        code = strip_code(raw)
+
+        m = INCLUDE_RE.match(raw)
+        if m and layer is not None:
+            target = m.group(1).split("/")[0]
+            if target in LAYER_DAG and target not in LAYER_DAG[layer]:
+                report(
+                    i,
+                    "layer-dag",
+                    f'layer "{layer}" must not include "{m.group(1)}" '
+                    f"(allowed: {', '.join(sorted(LAYER_DAG[layer]))})",
+                    raw,
+                )
+
+        if RAND_RE.search(code):
+            report(
+                i,
+                "no-raw-rand",
+                "raw C randomness in library code — use util/rng.h "
+                "(seedable, splittable)",
+                raw,
+            )
+
+        if STDIO_RE.search(code):
+            report(
+                i,
+                "no-stdio",
+                "direct console output in library code — use util/log.h",
+                raw,
+            )
+
+        if FLOAT_EQ_RE.search(code):
+            report(
+                i,
+                "no-float-eq",
+                "floating-point == / != against a literal — use "
+                "util::near() or an explicit tolerance",
+                raw,
+            )
+
+    if path.suffix == ".h":
+        has_pragma = any(l.strip() == "#pragma once" for l in lines)
+        guard_line = next(
+            (i for i, l in enumerate(lines, start=1) if GUARD_RE.match(l)), None
+        )
+        if not has_pragma:
+            report(
+                1,
+                "pragma-once",
+                "header lacks `#pragma once` (project headers use it "
+                "uniformly instead of include guards)",
+                lines[0] if lines else "",
+            )
+        if guard_line is not None:
+            report(
+                guard_line,
+                "pragma-once",
+                "#ifndef-style include guard — this tree standardizes on "
+                "`#pragma once`",
+                lines[guard_line - 1],
+            )
+
+    return out
+
+
+def iter_sources(src_root: Path):
+    for path in sorted(src_root.rglob("*")):
+        if path.suffix in (".h", ".cpp") and path.is_file():
+            rel = path.relative_to(src_root)
+            layer = rel.parts[0] if len(rel.parts) > 1 else None
+            if layer is not None and layer not in LAYER_DAG:
+                layer = None
+            yield path, layer
+
+
+def run_lint(src_root: Path) -> list[Violation]:
+    violations: list[Violation] = []
+    for path, layer in iter_sources(src_root):
+        violations.extend(lint_file(path, layer))
+    return violations
+
+
+def self_test(fixture_src: Path) -> int:
+    """Lints the seeded fixtures and checks each rule fires exactly where
+    intended — including that suppression comments are honoured."""
+    violations = run_lint(fixture_src)
+    got = {(v.path.relative_to(fixture_src).as_posix(), v.rule) for v in violations}
+    expected = {
+        ("util/bad_layer.h", "layer-dag"),
+        ("phy/bad_io.cpp", "no-stdio"),
+        ("phy/bad_io.cpp", "no-raw-rand"),
+        ("core/bad_float.cpp", "no-float-eq"),
+        ("video/bad_guard.h", "pragma-once"),
+    }
+    ok = True
+    for miss in sorted(expected - got):
+        print(f"self-test: expected violation did not fire: {miss}")
+        ok = False
+    for extra in sorted(got - expected):
+        print(f"self-test: unexpected violation: {extra}")
+        ok = False
+    suppressed = [
+        v
+        for v in violations
+        if v.path.name == "suppressed.cpp" or v.path.name == "suppressed_file.cpp"
+    ]
+    for v in suppressed:
+        print(f"self-test: suppression not honoured: {v}")
+        ok = False
+    print("self-test: " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parents[2],
+        help="repository root (default: two levels above this script)",
+    )
+    parser.add_argument(
+        "--src",
+        type=Path,
+        default=None,
+        help="source tree to lint (default: <root>/src)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="lint the seeded fixtures and verify each rule fires",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(Path(__file__).resolve().parent / "fixtures" / "src")
+
+    src_root = args.src if args.src is not None else args.root / "src"
+    if not src_root.is_dir():
+        print(f"femtocr_lint: no such source tree: {src_root}", file=sys.stderr)
+        return 2
+
+    violations = run_lint(src_root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"femtocr_lint: {len(violations)} violation(s)")
+        return 1
+    print(f"femtocr_lint: clean ({src_root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

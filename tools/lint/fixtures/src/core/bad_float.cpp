@@ -1,0 +1,8 @@
+// Seeded fixture: exact floating-point comparison against a literal.
+namespace femtocr::core {
+
+bool fixture_converged(double movement) {
+  return movement == 0.0;
+}
+
+}  // namespace femtocr::core

@@ -1,0 +1,17 @@
+// Seeded fixture: violations carrying line-level suppressions — the
+// self-test asserts none of these are reported.
+#include <iostream>
+
+#include "core/types.h"  // lint-allow: layer-dag
+
+namespace femtocr::net {
+
+void fixture_allowed_output() {
+  std::cerr << "deliberate\n";  // lint-allow: no-stdio
+}
+
+bool fixture_allowed_eq(double x) {
+  return x == 1.0;  // lint-allow: no-float-eq
+}
+
+}  // namespace femtocr::net

@@ -1,0 +1,12 @@
+// Seeded fixture: a file-wide suppression.
+// lint-allow-file: no-stdio
+#include <iostream>
+
+namespace femtocr::net {
+
+void fixture_file_allowed_output() {
+  std::cout << "deliberate A\n";
+  std::cerr << "deliberate B\n";
+}
+
+}  // namespace femtocr::net

@@ -1,0 +1,15 @@
+// Seeded fixture: raw console output and C randomness in library code.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace femtocr::phy {
+
+void fixture_noisy() {
+  std::cout << "direct output\n";
+  printf("more direct output\n");
+}
+
+int fixture_unseeded() { return rand(); }
+
+}  // namespace femtocr::phy

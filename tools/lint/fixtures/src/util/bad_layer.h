@@ -1,0 +1,9 @@
+// Seeded fixture: the util layer reaching up into core — the exact class
+// of dependency inversion femtocr_lint's layer-dag rule must catch.
+#pragma once
+
+#include "core/types.h"
+
+namespace femtocr::util {
+inline int fixture_uses_core() { return 0; }
+}  // namespace femtocr::util

@@ -1,0 +1,9 @@
+// Seeded fixture: old-style include guard instead of #pragma once.
+#ifndef FEMTOCR_VIDEO_BAD_GUARD_H_
+#define FEMTOCR_VIDEO_BAD_GUARD_H_
+
+namespace femtocr::video {
+inline int fixture_guarded() { return 0; }
+}  // namespace femtocr::video
+
+#endif  // FEMTOCR_VIDEO_BAD_GUARD_H_
