@@ -1,6 +1,7 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -89,12 +90,22 @@ GreedyResult greedy_allocate(const SlotContext& ctx) {
   // channel-free baseline and both upper bounds, and the Dbar-weighted
   // bound never exceeds the Dmax one (Dbar <= Dmax by construction); i.e.
   // Q_greedy - Q_empty >= (Q_ub - Q_empty) / (1 + Dmax) holds exactly.
+  // The ordering slack scales with the operands: the log-sum objectives grow
+  // with the scenario, so an absolute 1e-9 would misfire on large instances.
+  const auto slack = [](double a, double b) {
+    return 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+  };
   FEMTOCR_CHECK_FINITE(current.objective, "greedy objective must be finite");
-  FEMTOCR_CHECK_GE(current.objective, result.q_empty - 1e-9,
+  FEMTOCR_CHECK_GE(current.objective,
+                   result.q_empty - slack(current.objective, result.q_empty),
                    "adding licensed channels must never hurt");
-  FEMTOCR_CHECK_GE(result.bound_tight, current.objective - 1e-9,
+  FEMTOCR_CHECK_GE(result.bound_tight,
+                   current.objective -
+                       slack(result.bound_tight, current.objective),
                    "Eq. (23) bound must dominate the greedy value");
-  FEMTOCR_CHECK_GE(result.bound_dmax, result.bound_tight - 1e-9,
+  FEMTOCR_CHECK_GE(result.bound_dmax,
+                   result.bound_tight -
+                       slack(result.bound_dmax, result.bound_tight),
                    "Dmax bound must dominate the Dbar bound");
   FEMTOCR_DCHECK_GE(result.d_bar, 0.0, "Dbar is a convex combination");
   FEMTOCR_DCHECK_LE(

@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+from collections import Counter
 from pathlib import Path
 
 # Allowed include edges: layer -> set of layers it may include from.
@@ -55,9 +56,13 @@ LAYER_DAG = {
 RULES = ("layer-dag", "no-raw-rand", "no-stdio", "no-float-eq", "pragma-once")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
-RAND_RE = re.compile(r"(?<![\w:.])(?:s?rand|drand48|random)\s*\(")
+# The optional std:: / :: prefix is matched explicitly (rather than letting
+# a `:` lookbehind reject it) so qualified calls like std::printf or ::rand
+# cannot evade the rule; the lookbehind still rejects other qualifiers
+# (my::random, obj.rand) and identifier suffixes (strand).
+RAND_RE = re.compile(r"(?<![\w:.])(?:std::|::)?(?:s?rand|drand48|random)\s*\(")
 STDIO_RE = re.compile(
-    r"std::(?:cout|cerr)|(?<![\w:.])f?printf\s*\(|(?<![\w:.])puts\s*\("
+    r"std::(?:cout|cerr)|(?<![\w:.])(?:std::|::)?(?:f?printf|puts)\s*\("
 )
 # A float literal (1.0, .5, 1e-9, 1.5e+3) adjacent to == or !=, either side.
 FLOAT_LIT = r"(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)"
@@ -207,21 +212,28 @@ def self_test(fixture_src: Path) -> int:
     """Lints the seeded fixtures and checks each rule fires exactly where
     intended — including that suppression comments are honoured."""
     violations = run_lint(fixture_src)
-    got = {(v.path.relative_to(fixture_src).as_posix(), v.rule) for v in violations}
-    expected = {
-        ("util/bad_layer.h", "layer-dag"),
-        ("phy/bad_io.cpp", "no-stdio"),
-        ("phy/bad_io.cpp", "no-raw-rand"),
-        ("core/bad_float.cpp", "no-float-eq"),
-        ("video/bad_guard.h", "pragma-once"),
-    }
+    got = Counter(
+        (v.path.relative_to(fixture_src).as_posix(), v.rule) for v in violations
+    )
+    # Exact counts, so each seeded line — including the qualified
+    # std::printf / ::rand forms — is individually pinned.
+    expected = Counter(
+        {
+            ("util/bad_layer.h", "layer-dag"): 1,
+            ("phy/bad_io.cpp", "no-stdio"): 3,
+            ("phy/bad_io.cpp", "no-raw-rand"): 2,
+            ("core/bad_float.cpp", "no-float-eq"): 1,
+            ("video/bad_guard.h", "pragma-once"): 2,
+        }
+    )
     ok = True
-    for miss in sorted(expected - got):
-        print(f"self-test: expected violation did not fire: {miss}")
-        ok = False
-    for extra in sorted(got - expected):
-        print(f"self-test: unexpected violation: {extra}")
-        ok = False
+    for key in sorted(set(expected) | set(got)):
+        if got[key] != expected[key]:
+            print(
+                f"self-test: {key}: expected {expected[key]} violation(s), "
+                f"got {got[key]}"
+            )
+            ok = False
     suppressed = [
         v
         for v in violations

@@ -8,8 +8,11 @@ namespace femtocr::phy {
 void fixture_noisy() {
   std::cout << "direct output\n";
   printf("more direct output\n");
+  std::printf("qualified output must not evade the rule\n");
 }
 
 int fixture_unseeded() { return rand(); }
+
+int fixture_unseeded_qualified() { return ::rand(); }
 
 }  // namespace femtocr::phy
