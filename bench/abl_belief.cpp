@@ -9,12 +9,15 @@
 // proposed scheme: large on sticky channels, none in the memoryless limit.
 #include <iostream>
 
+#include "common.h"
+
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   util::Table table({"mixing (P01+P10)", "stationary prior (dB)",
                      "belief tracking (dB)", "gain (dB)", "G_t static",
                      "G_t tracked"});
@@ -28,9 +31,9 @@ int main() {
     sim::Scenario tracked = base;
     tracked.spectrum.track_beliefs = true;
 
-    const auto s = sim::run_experiment(base, core::SchemeKind::kProposed, 10);
+    const auto s = sim::run_experiment(base, core::SchemeKind::kProposed, harness.runs());
     const auto t =
-        sim::run_experiment(tracked, core::SchemeKind::kProposed, 10);
+        sim::run_experiment(tracked, core::SchemeKind::kProposed, harness.runs());
     table.add_row({util::Table::num(mixing, 1),
                    util::Table::num(s.mean_psnr.mean(), 2),
                    util::Table::num(t.mean_psnr.mean(), 2),
@@ -46,5 +49,6 @@ int main() {
   std::cout << "\nSticky channels (low mixing) reward memory; at the "
                "paper's mixing of 0.7\nthe chain is fast and the stationary "
                "prior loses little — consistent with\nthe paper's choice.\n";
+  harness.report(4 * 2 * harness.runs());
   return 0;
 }

@@ -10,12 +10,15 @@
 // next to the per-slot form the figures plot.
 #include <iostream>
 
+#include "common.h"
+
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   util::Table table({"scenario", "scheme", "expected (dB)", "realized (dB)",
                      "difference"});
   util::Table bounds({"scenario", "per-slot bound (dB)",
@@ -30,9 +33,9 @@ int main() {
                       core::SchemeKind::kHeuristic2}) {
       sim::Scenario s = base;
       s.accounting = sim::Accounting::kExpected;
-      const auto expected = sim::run_experiment(s, kind, 10);
+      const auto expected = sim::run_experiment(s, kind, harness.runs());
       s.accounting = sim::Accounting::kRealized;
-      const auto realized = sim::run_experiment(s, kind, 10);
+      const auto realized = sim::run_experiment(s, kind, harness.runs());
       table.add_row({base.name, core::scheme_name(kind),
                      util::Table::num(expected.mean_psnr.mean(), 2),
                      util::Table::num(realized.mean_psnr.mean(), 2),
@@ -43,9 +46,8 @@ int main() {
 
     // Bound-form comparison (proposed scheme only).
     util::RunningStat per_slot, compounded, delivered;
-    for (std::size_t r = 0; r < 10; ++r) {
-      sim::Simulator sim_run(base, core::SchemeKind::kProposed, r);
-      const sim::RunResult res = sim_run.run();
+    for (const sim::RunResult& res :
+         sim::run_results(base, core::SchemeKind::kProposed, harness.runs())) {
       per_slot.add(res.mean_bound_psnr);
       compounded.add(res.mean_bound_psnr_compounded);
       delivered.add(res.mean_psnr);
@@ -63,5 +65,6 @@ int main() {
                "compounded (worst case)\n";
   bounds.print(std::cout);
   bounds.print_csv(std::cout, "abl_bound_forms");
+  harness.report(2 * (3 * 2 + 1) * harness.runs());
   return 0;
 }

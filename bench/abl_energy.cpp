@@ -8,6 +8,8 @@
 // concentrates on the expensive macro radio.
 #include <iostream>
 
+#include "common.h"
+
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "sim/simulator.h"
@@ -15,17 +17,17 @@
 #include "video/mgs_model.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   util::Table table({"configuration", "PSNR (dB)", "MBS energy (J)",
                      "FBS energy (J)", "enhancement dB per joule"});
 
   auto measure = [&](const std::string& name, const sim::Scenario& s,
                      core::SchemeKind kind) {
     util::RunningStat psnr, e_mbs, e_fbs, efficiency;
-    for (std::size_t r = 0; r < 10; ++r) {
-      sim::Simulator sim(s, kind, r);
-      const sim::RunResult res = sim.run();
+    for (const sim::RunResult& res :
+         sim::run_results(s, kind, harness.runs())) {
       psnr.add(res.mean_psnr);
       e_mbs.add(res.energy_mbs_joules);
       e_fbs.add(res.energy_fbs_joules);
@@ -62,5 +64,6 @@ int main() {
                "the macro\npower per channel-slot; blocking it (last row) "
                "costs quality and\nconcentrates the bill on the macro "
                "radio.\n";
+  harness.report(4 * harness.runs());
   return 0;
 }

@@ -7,6 +7,8 @@
 // channel-gain ratio greedy/optimal alongside both bound ratios.
 #include <iostream>
 
+#include "common.h"
+
 #include "core/exact.h"
 #include "core/greedy.h"
 #include "net/interference_graph.h"
@@ -41,8 +43,9 @@ femtocr::core::SlotContext random_context(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   util::Rng rng(2025);
   const auto graph = net::InterferenceGraph::from_edges(3, {{0, 1}, {1, 2}});
 
@@ -79,5 +82,6 @@ int main() {
                "Theorem 2 guarantees >= 1/(1+Dmax) = 1/3 here\n";
   table.print(std::cout);
   table.print_csv(std::cout, "abl_greedy_vs_exact");
+  harness.report(0);
   return 0;
 }

@@ -8,12 +8,15 @@
 // eta = 0.5 band against ramps of increasing spread with the same mean.
 #include <iostream>
 
+#include "common.h"
+
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   util::Table table({"utilization profile", "Proposed (dB)", "avg G_t",
                      "collision rate"});
   struct Profile {
@@ -35,7 +38,7 @@ int main() {
       s.set_utilization_ramp(p.lo, p.hi);
     }
     s.finalize();
-    const auto res = sim::run_experiment(s, core::SchemeKind::kProposed, 10);
+    const auto res = sim::run_experiment(s, core::SchemeKind::kProposed, harness.runs());
     table.add_row({p.name, util::Table::num(res.mean_psnr.mean(), 2),
                    util::Table::num(res.avg_expected_channels.mean(), 2),
                    util::Table::num(res.collision_rate.mean(), 3)});
@@ -44,5 +47,6 @@ int main() {
                "utilization (single FBS, proposed scheme)\n";
   table.print(std::cout);
   table.print_csv(std::cout, "abl_heterogeneous");
+  harness.report(4 * harness.runs());
   return 0;
 }

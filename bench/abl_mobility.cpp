@@ -8,12 +8,15 @@
 // shrink) as mobility grows.
 #include <iostream>
 
+#include "common.h"
+
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   util::Table table({"step stddev (m/GOP)", "Proposed (dB)",
                      "Heuristic1 (dB)", "Heuristic2 (dB)"});
   for (double stddev : {0.0, 1.0, 3.0, 6.0}) {
@@ -25,7 +28,7 @@ int main() {
       s.num_gops = 10;
       s.mobility.step_stddev = stddev;
       s.finalize();
-      const auto res = sim::run_experiment(s, kind, 10);
+      const auto res = sim::run_experiment(s, kind, harness.runs());
       row.push_back(util::Table::num(res.mean_psnr.mean(), 2));
     }
     table.add_row(std::move(row));
@@ -34,5 +37,6 @@ int main() {
                "(3 interfering FBSs)\n";
   table.print(std::cout);
   table.print_csv(std::cout, "abl_mobility");
+  harness.report(4 * 3 * harness.runs());
   return 0;
 }

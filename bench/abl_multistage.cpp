@@ -9,13 +9,16 @@
 // of the serial decomposition.
 #include <iostream>
 
+#include "common.h"
+
 #include "core/multistage.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   util::Rng rng(777);
   util::Table table({"users", "instances", "mean gap (%)", "max gap (%)",
                      "myopic wins exactly (%)"});
@@ -46,5 +49,6 @@ int main() {
   std::cout << "\nGaps in the 1e-3 % range: the serial decomposition the "
                "paper adopts\nfrom [14] is effectively lossless at these "
                "operating points.\n";
+  harness.report(0);
   return 0;
 }

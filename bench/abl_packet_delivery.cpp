@@ -9,12 +9,15 @@
 // flatters each scheme. Scheme ordering must be preserved.
 #include <iostream>
 
+#include "common.h"
+
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   util::Table table({"scenario", "scheme", "fluid (dB)", "packet (dB)",
                      "gap (dB)"});
   for (const bool interfering : {false, true}) {
@@ -26,9 +29,9 @@ int main() {
                       core::SchemeKind::kHeuristic2}) {
       sim::Scenario s = base;
       s.delivery = sim::DeliveryModel::kFluid;
-      const auto fluid = sim::run_experiment(s, kind, 10);
+      const auto fluid = sim::run_experiment(s, kind, harness.runs());
       s.delivery = sim::DeliveryModel::kPacket;
-      const auto packet = sim::run_experiment(s, kind, 10);
+      const auto packet = sim::run_experiment(s, kind, harness.runs());
       table.add_row({base.name, core::scheme_name(kind),
                      util::Table::num(fluid.mean_psnr.mean(), 2),
                      util::Table::num(packet.mean_psnr.mean(), 2),
@@ -56,7 +59,7 @@ int main() {
       s.num_gops = 10;
       s.delivery = sim::DeliveryModel::kPacket;
       s.packet_bits = bits;
-      const auto res = sim::run_experiment(s, kind, 10);
+      const auto res = sim::run_experiment(s, kind, harness.runs());
       row.push_back(util::Table::num(res.mean_psnr.mean(), 2));
     }
     granularity.add_row(std::move(row));
@@ -64,5 +67,6 @@ int main() {
   std::cout << "\nNAL-unit granularity sweep (single FBS, packet model):\n";
   granularity.print(std::cout);
   granularity.print_csv(std::cout, "abl_packet_granularity");
+  harness.report((2 * 3 * 2 + 4 * 3) * harness.runs());
   return 0;
 }

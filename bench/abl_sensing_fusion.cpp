@@ -9,12 +9,15 @@
 // fewer collisions and higher delivered PSNR.
 #include <iostream>
 
+#include "common.h"
+
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   util::Table table({"sensors (eps=delta)", "configuration", "PSNR (dB)",
                      "collision rate", "avg G_t"});
   for (double err : {0.2, 0.3, 0.4}) {
@@ -29,7 +32,7 @@ int main() {
         s.spectrum.num_users = 0;  // sensing users, not subscribers
       }
       const auto res =
-          sim::run_experiment(s, core::SchemeKind::kProposed, 10);
+          sim::run_experiment(s, core::SchemeKind::kProposed, harness.runs());
       table.add_row({util::Table::num(err, 2), config,
                      util::Table::num(res.mean_psnr.mean(), 2),
                      util::Table::num(res.collision_rate.mean(), 3),
@@ -40,5 +43,6 @@ int main() {
                "(single FBS, proposed scheme)\n";
   table.print(std::cout);
   table.print_csv(std::cout, "abl_sensing_fusion");
+  harness.report(3 * 3 * harness.runs());
   return 0;
 }

@@ -1,0 +1,79 @@
+// Shared CLI + wall-clock harness for the figure/ablation bench binaries.
+//
+// Every bench accepts:
+//   --runs=N      replications per experiment cell (default: the paper's
+//                 10 unless the bench overrides it)
+//   --threads=N   worker threads for the replication engine; 0 = auto
+//                 (FEMTOCR_THREADS env, else hardware concurrency)
+//
+// The timing line goes to *stderr*, one machine-parseable line:
+//   timing: bench=<name> threads=<t> replications=<n> elapsed_s=<s> reps_per_s=<r>
+// stdout carries only the figure tables, so stdout is byte-identical
+// across thread counts — CI's bench-smoke job diffs --threads=1 against
+// --threads=4 to hold the determinism contract.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/args.h"
+#include "util/parallel.h"
+
+namespace femtocr::benchutil {
+
+class Harness {
+ public:
+  Harness(int argc, char** argv, std::size_t default_runs = 10)
+      : start_(std::chrono::steady_clock::now()) {
+    name_ = argc > 0 ? argv[0] : "bench";
+    const std::string::size_type slash = name_.find_last_of('/');
+    if (slash != std::string::npos) name_ = name_.substr(slash + 1);
+    try {
+      const util::Args args(argc, argv);
+      runs_ = static_cast<std::size_t>(
+          args.get("runs", static_cast<std::int64_t>(default_runs)));
+      const auto threads =
+          static_cast<std::size_t>(args.get("threads", std::int64_t{0}));
+      util::set_default_threads(threads);
+      const auto unknown = args.unconsumed();
+      if (!unknown.empty()) {
+        std::cerr << name_ << ": unknown flag(s):";
+        for (const auto& k : unknown) std::cerr << " --" << k;
+        std::cerr << " (supported: --runs=N --threads=N)\n";
+        std::exit(2);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << name_ << ": " << e.what()
+                << " (supported: --runs=N --threads=N)\n";
+      std::exit(2);
+    }
+  }
+
+  /// Replications per experiment cell (--runs).
+  std::size_t runs() const { return runs_; }
+
+  /// Prints the stderr timing line; `replications` is the total number of
+  /// independent simulation runs the bench executed (0 = bench does not
+  /// replicate, only elapsed time is reported).
+  void report(std::size_t replications) const {
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    std::cerr << "timing: bench=" << name_
+              << " threads=" << util::default_threads()
+              << " replications=" << replications << " elapsed_s=" << secs;
+    if (replications > 0 && secs > 0.0) {
+      std::cerr << " reps_per_s=" << static_cast<double>(replications) / secs;
+    }
+    std::cerr << '\n';
+  }
+
+ private:
+  std::string name_;
+  std::size_t runs_ = 10;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace femtocr::benchutil

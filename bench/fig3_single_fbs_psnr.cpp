@@ -5,19 +5,21 @@
 // over the heuristics) and much better balanced across users.
 #include <iostream>
 
+#include "common.h"
 #include "sim/experiment.h"
 #include "sim/metrics.h"
 #include "sim/scenario.h"
 #include "util/table.h"
 #include "video/mgs_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   sim::Scenario scenario = sim::single_fbs_scenario(/*seed=*/1);
-  const auto summaries = sim::run_all_schemes(scenario, /*runs=*/10);
+  const auto summaries = sim::run_all_schemes(scenario, harness.runs());
 
-  std::cout << "Fig. 3 — single FBS: per-user Y-PSNR (dB), mean of 10 runs "
-               "+/- 95% CI\n";
+  std::cout << "Fig. 3 — single FBS: per-user Y-PSNR (dB), mean of "
+            << harness.runs() << " runs +/- 95% CI\n";
   util::Table table({"User", "Video", "Proposed", "Heuristic1", "Heuristic2"});
   for (std::size_t j = 0; j < scenario.users.size(); ++j) {
     std::vector<std::string> cells = {std::to_string(j + 1),
@@ -49,5 +51,6 @@ int main() {
   std::cout << '\n';
   fairness.print(std::cout);
   fairness.print_csv(std::cout, "fig3_fairness");
+  harness.report(3 * harness.runs());
   return 0;
 }

@@ -7,6 +7,8 @@
 // prices.
 #include <iostream>
 
+#include "common.h"
+
 #include "core/dual_solver.h"
 #include "core/waterfill.h"
 #include "sim/scenario.h"
@@ -14,8 +16,9 @@
 #include "spectrum/spectrum_manager.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   const sim::Scenario scenario = sim::single_fbs_scenario(/*seed=*/1);
 
   // Reconstruct the first slot's problem exactly as the simulator sees it.
@@ -80,5 +83,6 @@ int main() {
             << util::Table::num(
                    100.0 * (exact - res.allocation.objective) / exact, 4)
             << " %\n";
+  harness.report(0);
   return 0;
 }

@@ -6,10 +6,12 @@
 // curves are flatter.
 #include <iostream>
 
+#include "common.h"
 #include "sim/sweeps.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   sim::Scenario base = sim::single_fbs_scenario(/*seed=*/1);
   const std::vector<double> xs = {4, 6, 8, 10, 12};
   const auto rows = sim::sweep(
@@ -18,9 +20,10 @@ int main() {
         s.spectrum.num_licensed = static_cast<std::size_t>(m);
         s.finalize();
       },
-      /*runs=*/10);
+      harness.runs());
   std::cout << "Fig. 4(b) — video quality vs number of licensed channels "
                "(single FBS)\n";
   sim::print_sweep(std::cout, "fig4b", "M", rows, /*with_bound=*/false);
+  harness.report(xs.size() * 3 * harness.runs());
   return 0;
 }

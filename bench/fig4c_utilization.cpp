@@ -6,10 +6,12 @@
 // whose curves are close to each other.
 #include <iostream>
 
+#include "common.h"
 #include "sim/sweeps.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   sim::Scenario base = sim::single_fbs_scenario(/*seed=*/1);
   const std::vector<double> xs = {0.3, 0.4, 0.5, 0.6, 0.7};
   const auto rows = sim::sweep(
@@ -18,9 +20,10 @@ int main() {
         s.set_utilization(eta);
         s.finalize();
       },
-      /*runs=*/10);
+      harness.runs());
   std::cout << "Fig. 4(c) — video quality vs channel utilization "
                "(single FBS)\n";
   sim::print_sweep(std::cout, "fig4c", "eta", rows, /*with_bound=*/false);
+  harness.report(xs.size() * 3 * harness.runs());
   return 0;
 }

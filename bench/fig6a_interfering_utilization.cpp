@@ -7,10 +7,12 @@
 // ~0.4 dB above the proposed scheme.
 #include <iostream>
 
+#include "common.h"
 #include "sim/sweeps.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   sim::Scenario base = sim::interfering_scenario(/*seed=*/1);
   base.num_gops = 10;  // 100 slots per run keeps the greedy sweep tractable
   const std::vector<double> xs = {0.3, 0.4, 0.5, 0.6, 0.7};
@@ -20,9 +22,10 @@ int main() {
         s.set_utilization(eta);
         s.finalize();
       },
-      /*runs=*/10);
+      harness.runs());
   std::cout << "Fig. 6(a) — video quality vs channel utilization "
                "(3 interfering FBSs, path graph)\n";
   sim::print_sweep(std::cout, "fig6a", "eta", rows, /*with_bound=*/true);
+  harness.report(xs.size() * 3 * harness.runs());
   return 0;
 }

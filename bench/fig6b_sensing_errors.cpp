@@ -8,10 +8,12 @@
 // Proposed stays above both heuristics across the range.
 #include <iostream>
 
+#include "common.h"
 #include "sim/sweeps.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   sim::Scenario base = sim::interfering_scenario(/*seed=*/1);
   base.num_gops = 10;
   // x carries eps; delta is looked up from the paired table below.
@@ -29,9 +31,10 @@ int main() {
         s.set_sensing_errors(eps, delta_for(eps));
         s.finalize();
       },
-      /*runs=*/10);
+      harness.runs());
   std::cout << "Fig. 6(b) — video quality vs sensing errors "
                "(eps rising, delta falling; 3 interfering FBSs)\n";
   sim::print_sweep(std::cout, "fig6b", "eps", rows, /*with_bound=*/true);
+  harness.report(xs.size() * 3 * harness.runs());
   return 0;
 }

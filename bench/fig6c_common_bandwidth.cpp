@@ -8,10 +8,12 @@
 // close to the upper bound throughout.
 #include <iostream>
 
+#include "common.h"
 #include "sim/sweeps.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  const benchutil::Harness harness(argc, argv);
   sim::Scenario base = sim::interfering_scenario(/*seed=*/1);
   base.num_gops = 10;
   base.licensed_bandwidth = 0.3;
@@ -22,9 +24,10 @@ int main() {
         s.common_bandwidth = b0;
         s.finalize();
       },
-      /*runs=*/10);
+      harness.runs());
   std::cout << "Fig. 6(c) — video quality vs common-channel bandwidth B0 "
                "(B1 = 0.3 Mbps; 3 interfering FBSs)\n";
   sim::print_sweep(std::cout, "fig6c", "B0 (Mbps)", rows, /*with_bound=*/true);
+  harness.report(xs.size() * 3 * harness.runs());
   return 0;
 }

@@ -15,11 +15,19 @@
 #include "sim/metrics.h"
 #include "sim/scenario.h"
 #include "spectrum/spectrum_manager.h"
+#include "util/args.h"
+#include "util/parallel.h"
 #include "util/table.h"
 #include "video/mgs_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  // --threads=N pins the replication engine's worker count (0 = auto:
+  // FEMTOCR_THREADS, else hardware concurrency). Results are bitwise
+  // identical for every choice.
+  const util::Args args(argc, argv);
+  util::set_default_threads(
+      static_cast<std::size_t>(args.get("threads", std::int64_t{0})));
   // Seed 1 is the deployment the bench figures use.
   sim::Scenario scenario = sim::interfering_scenario(/*seed=*/1);
   scenario.num_gops = 10;

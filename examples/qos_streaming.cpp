@@ -13,13 +13,22 @@
 #include <memory>
 
 #include "core/qos.h"
+#include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
+#include "util/args.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  // --threads=N pins the replication engine's worker count (0 = auto:
+  // FEMTOCR_THREADS, else hardware concurrency). Results are bitwise
+  // identical for every choice.
+  const util::Args args(argc, argv);
+  util::set_default_threads(
+      static_cast<std::size_t>(args.get("threads", std::int64_t{0})));
   sim::Scenario scenario = sim::single_fbs_scenario(/*seed=*/77);
   scenario.num_gops = 20;
 
@@ -29,12 +38,13 @@ int main() {
   };
   std::vector<Row> rows;
 
+  // Custom schemes ride the same parallel replication engine as the
+  // built-ins: hand run_results a scheme factory instead of a kind.
   auto run_with = [&](const std::string& name, auto make_scheme_fn) {
     Row row;
     row.name = name;
-    for (std::size_t r = 0; r < 10; ++r) {
-      sim::Simulator sim(scenario, make_scheme_fn(), r);
-      const sim::RunResult res = sim.run();
+    for (const sim::RunResult& res :
+         sim::run_results(scenario, make_scheme_fn, /*runs=*/10)) {
       row.mean.add(res.mean_psnr);
       row.worst.add(
           *std::min_element(res.user_mean_psnr.begin(),

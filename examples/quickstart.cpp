@@ -8,10 +8,18 @@
 
 #include "sim/experiment.h"
 #include "sim/scenario.h"
+#include "util/args.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  // --threads=N pins the replication engine's worker count (0 = auto:
+  // FEMTOCR_THREADS, else hardware concurrency). Results are bitwise
+  // identical for every choice.
+  const util::Args args(argc, argv);
+  util::set_default_threads(
+      static_cast<std::size_t>(args.get("threads", std::int64_t{0})));
 
   // The paper's Section V-A setup: 8 licensed channels (P01=0.4, P10=0.3),
   // collision budget 0.2, sensing errors eps = delta = 0.3, one femtocell

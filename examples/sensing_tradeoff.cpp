@@ -15,6 +15,8 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "spectrum/sensing.h"
+#include "util/args.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace {
@@ -24,8 +26,14 @@ double roc_delta(double eps, double k = 2.2) { return std::pow(1.0 - eps, k); }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace femtocr;
+  // --threads=N pins the replication engine's worker count (0 = auto:
+  // FEMTOCR_THREADS, else hardware concurrency). Results are bitwise
+  // identical for every choice.
+  const util::Args args(argc, argv);
+  util::set_default_threads(
+      static_cast<std::size_t>(args.get("threads", std::int64_t{0})));
 
   // --- Fusion anatomy ------------------------------------------------------
   std::cout << "Posterior idle probability after L unanimous 'idle' reports\n"

@@ -1,16 +1,56 @@
 #include "sim/experiment.h"
 
+#include "util/check.h"
+#include "util/parallel.h"
+
 namespace femtocr::sim {
 
-SchemeSummary run_experiment(const Scenario& scenario, core::SchemeKind kind,
-                             std::size_t runs) {
+void SchemeSummary::merge(const SchemeSummary& other) {
+  FEMTOCR_CHECK(kind == other.kind,
+                "SchemeSummary::merge requires matching schemes");
+  FEMTOCR_CHECK(per_user.size() == other.per_user.size(),
+                "SchemeSummary::merge requires matching user counts");
+  runs += other.runs;
+  mean_psnr.merge(other.mean_psnr);
+  bound_psnr.merge(other.bound_psnr);
+  for (std::size_t j = 0; j < per_user.size(); ++j) {
+    per_user[j].merge(other.per_user[j]);
+  }
+  collision_rate.merge(other.collision_rate);
+  avg_available.merge(other.avg_available);
+  avg_expected_channels.merge(other.avg_expected_channels);
+}
+
+std::vector<RunResult> run_results(const Scenario& scenario,
+                                   core::SchemeKind kind, std::size_t runs) {
+  std::vector<RunResult> results(runs);
+  util::parallel_for(runs, [&](std::size_t r) {
+    Simulator sim(scenario, kind, r);
+    results[r] = sim.run();
+  });
+  return results;
+}
+
+std::vector<RunResult> run_results(
+    const Scenario& scenario,
+    const std::function<std::unique_ptr<core::Scheme>()>& make_scheme,
+    std::size_t runs) {
+  std::vector<RunResult> results(runs);
+  util::parallel_for(runs, [&](std::size_t r) {
+    Simulator sim(scenario, make_scheme(), r);
+    results[r] = sim.run();
+  });
+  return results;
+}
+
+SchemeSummary summarize_runs(core::SchemeKind kind, std::size_t num_users,
+                             const RunResult* results, std::size_t count) {
   SchemeSummary summary;
   summary.kind = kind;
-  summary.runs = runs;
-  summary.per_user.resize(scenario.users.size());
-  for (std::size_t r = 0; r < runs; ++r) {
-    Simulator sim(scenario, kind, r);
-    const RunResult res = sim.run();
+  summary.runs = count;
+  summary.per_user.resize(num_users);
+  for (std::size_t r = 0; r < count; ++r) {
+    const RunResult& res = results[r];
     summary.mean_psnr.add(res.mean_psnr);
     summary.bound_psnr.add(res.mean_bound_psnr);
     for (std::size_t j = 0; j < res.user_mean_psnr.size(); ++j) {
@@ -23,13 +63,34 @@ SchemeSummary run_experiment(const Scenario& scenario, core::SchemeKind kind,
   return summary;
 }
 
+SchemeSummary run_experiment(const Scenario& scenario, core::SchemeKind kind,
+                             std::size_t runs) {
+  const std::vector<RunResult> results = run_results(scenario, kind, runs);
+  return summarize_runs(kind, scenario.users.size(), results.data(), runs);
+}
+
 std::vector<SchemeSummary> run_all_schemes(const Scenario& scenario,
                                            std::size_t runs) {
-  return {
-      run_experiment(scenario, core::SchemeKind::kProposed, runs),
-      run_experiment(scenario, core::SchemeKind::kHeuristic1, runs),
-      run_experiment(scenario, core::SchemeKind::kHeuristic2, runs),
-  };
+  static constexpr core::SchemeKind kKinds[] = {core::SchemeKind::kProposed,
+                                                core::SchemeKind::kHeuristic1,
+                                                core::SchemeKind::kHeuristic2};
+  constexpr std::size_t kNumSchemes = 3;
+  // One flat (scheme, run) grid so the pool stays busy across scheme
+  // boundaries; slot (k, r) is untouched by any other cell.
+  std::vector<RunResult> results(kNumSchemes * runs);
+  util::parallel_for(results.size(), [&](std::size_t i) {
+    const core::SchemeKind kind = kKinds[i / runs];
+    const std::size_t r = i % runs;
+    Simulator sim(scenario, kind, r);
+    results[i] = sim.run();
+  });
+  std::vector<SchemeSummary> summaries;
+  summaries.reserve(kNumSchemes);
+  for (std::size_t k = 0; k < kNumSchemes; ++k) {
+    summaries.push_back(summarize_runs(kKinds[k], scenario.users.size(),
+                                       results.data() + k * runs, runs));
+  }
+  return summaries;
 }
 
 }  // namespace femtocr::sim

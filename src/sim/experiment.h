@@ -1,10 +1,22 @@
 // Multi-run experiments: the paper reports every point as the mean of 10
-// independent simulation runs with 95% confidence intervals. Experiment
-// repeats a scenario across run indices (fresh channel/sensing/fading
-// randomness, same deployment) and aggregates per-user and average PSNRs.
+// independent simulation runs with 95% confidence intervals. This file is
+// the replication engine's front door: replications fan out across the
+// util::parallel_for thread pool and fold back deterministically.
+//
+// Seeding contract (what makes parallelism invisible): the randomness of
+// one replication is a pure function of (scenario.seed, run index) —
+// Simulator derives its stream as Rng(scenario.seed).split(0x5151 + run).
+// Schemes deliberately share run seeds (the paper's common-random-numbers
+// pairing), and sweep points share them too, so curves differ only through
+// the swept knob. Nothing ever draws from thread identity, scheduling
+// order, or a shared generator; per-run results land in run-indexed slots
+// and are folded in run order. Consequence: every summary below is
+// **bitwise identical for any thread count, including 1**.
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/scheme.h"
@@ -24,16 +36,43 @@ struct SchemeSummary {
   util::RunningStat collision_rate;
   util::RunningStat avg_available;
   util::RunningStat avg_expected_channels;
+
+  /// Combines a summary of a disjoint replication batch into this one
+  /// (parallel-Welford merge of every accumulator; the schemes must
+  /// match). Lock-free aggregation for sharded or distributed sweeps.
+  void merge(const SchemeSummary& other);
 };
 
-/// Runs `runs` independent simulations of `scenario` under `kind`.
+/// Runs the replications through the parallel engine and returns the
+/// per-run results in run order (run r at index r, regardless of which
+/// worker computed it).
+std::vector<RunResult> run_results(const Scenario& scenario,
+                                   core::SchemeKind kind, std::size_t runs);
+
+/// Same, for caller-supplied schemes (core::Scheme extensions such as the
+/// QoS-floor allocator). `make_scheme` is invoked once per replication,
+/// possibly from several worker threads at once — it must be a pure
+/// factory over immutable state.
+std::vector<RunResult> run_results(
+    const Scenario& scenario,
+    const std::function<std::unique_ptr<core::Scheme>()>& make_scheme,
+    std::size_t runs);
+
+/// Sequential left fold of `count` per-run results (in index order) into a
+/// summary — the deterministic reduction shared by every experiment entry
+/// point. `num_users` sizes the per-user accumulators.
+SchemeSummary summarize_runs(core::SchemeKind kind, std::size_t num_users,
+                             const RunResult* results, std::size_t count);
+
+/// Runs `runs` independent simulations of `scenario` under `kind`,
+/// replications in parallel (util::default_threads() workers).
 SchemeSummary run_experiment(const Scenario& scenario, core::SchemeKind kind,
                              std::size_t runs = 10);
 
-/// Runs all three schemes on the same scenario (each scheme sees identical
-/// run seeds, so spectrum and fading realizations are paired across
-/// schemes — variance reduction the paper's common-random-numbers setup
-/// implies).
+/// Runs all three schemes on the same scenario; the full scheme x run grid
+/// fans out across the pool at once. Each scheme sees identical run seeds,
+/// so spectrum and fading realizations are paired across schemes —
+/// variance reduction the paper's common-random-numbers setup implies.
 std::vector<SchemeSummary> run_all_schemes(const Scenario& scenario,
                                            std::size_t runs = 10);
 

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "util/ascii_chart.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace femtocr::sim {
@@ -11,14 +12,44 @@ std::vector<SweepRow> sweep(const Scenario& base,
                             const std::vector<double>& xs,
                             const std::function<void(Scenario&, double)>& apply,
                             std::size_t runs) {
-  std::vector<SweepRow> rows;
-  rows.reserve(xs.size());
+  // Materialize every point's scenario up front (apply is cheap and need
+  // not be thread-safe), then fan the whole (point, scheme, run) grid
+  // across the pool at once — points near the end of the sweep don't wait
+  // for earlier points to drain. Cell (p, k, r) owns slot p*3*runs +
+  // k*runs + r and its randomness is a pure function of (seed, r), so the
+  // fold below is bitwise identical for any thread count.
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(xs.size());
   for (double x : xs) {
     Scenario s = base;
     apply(s, x);
+    scenarios.push_back(std::move(s));
+  }
+
+  static constexpr core::SchemeKind kKinds[] = {core::SchemeKind::kProposed,
+                                                core::SchemeKind::kHeuristic1,
+                                                core::SchemeKind::kHeuristic2};
+  constexpr std::size_t kNumSchemes = 3;
+  const std::size_t per_point = kNumSchemes * runs;
+  std::vector<RunResult> results(xs.size() * per_point);
+  util::parallel_for(results.size(), [&](std::size_t i) {
+    const std::size_t p = i / per_point;
+    const std::size_t k = (i % per_point) / runs;
+    const std::size_t r = i % runs;
+    Simulator sim(scenarios[p], kKinds[k], r);
+    results[i] = sim.run();
+  });
+
+  std::vector<SweepRow> rows;
+  rows.reserve(xs.size());
+  for (std::size_t p = 0; p < xs.size(); ++p) {
     SweepRow row;
-    row.x = x;
-    row.schemes = run_all_schemes(s, runs);
+    row.x = xs[p];
+    for (std::size_t k = 0; k < kNumSchemes; ++k) {
+      row.schemes.push_back(
+          summarize_runs(kKinds[k], scenarios[p].users.size(),
+                         results.data() + p * per_point + k * runs, runs));
+    }
     rows.push_back(std::move(row));
   }
   return rows;

@@ -20,9 +20,13 @@ struct SweepRow {
   std::vector<SchemeSummary> schemes;  ///< Proposed, H1, H2 order
 };
 
-/// Runs `runs` simulations of all three schemes for every knob value.
-/// `apply` mutates a copy of the base scenario for the given knob value
-/// (and must leave it finalized).
+/// Runs `runs` simulations of all three schemes for every knob value,
+/// fanning the whole (point, scheme, run) grid across the replication
+/// engine (util::parallel_for; thread count from util::default_threads()).
+/// Output is bitwise identical for any thread count — see the seeding
+/// contract in sim/experiment.h. `apply` mutates a copy of the base
+/// scenario for the given knob value (and must leave it finalized); it is
+/// invoked serially, before the fan-out.
 std::vector<SweepRow> sweep(const Scenario& base,
                             const std::vector<double>& xs,
                             const std::function<void(Scenario&, double)>& apply,

@@ -1,11 +1,13 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace femtocr::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,11 +22,16 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (level < g_level || g_level == LogLevel::kOff) return;
+  const LogLevel threshold = g_level.load();
+  if (level < threshold || threshold == LogLevel::kOff) return;
+  // Serialize the sink: replication workers may log concurrently and a
+  // torn line would make failures undiagnosable.
+  static std::mutex sink_mutex;
+  std::lock_guard<std::mutex> lock(sink_mutex);
   // The logger is the one sanctioned console sink in the library.
   std::cerr << '[' << level_name(level) << "] " << msg << '\n';  // lint-allow: no-stdio
 }

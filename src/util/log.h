@@ -1,9 +1,10 @@
 // Minimal leveled logger.
 //
 // The library is quiet by default (kWarn); simulations and examples can
-// raise verbosity to trace per-slot decisions. Logging is process-global
-// and not synchronized — the simulator is single-threaded by design, and
-// benches run experiments sequentially.
+// raise verbosity to trace per-slot decisions. Logging is process-global;
+// the level is atomic and the stderr sink is mutex-serialized, so
+// replication workers (util/parallel.h) may log concurrently without
+// tearing lines.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,164 @@
+#include "util/parallel.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/check.h"
+
+namespace femtocr::util {
+
+namespace {
+
+/// True on any thread currently executing job indices (workers and the
+/// participating caller alike); nested parallel_for runs inline then.
+thread_local bool t_in_job = false;
+
+struct InJobScope {
+  bool prev;
+  InJobScope() : prev(t_in_job) { t_in_job = true; }
+  ~InJobScope() { t_in_job = prev; }
+};
+
+std::size_t env_or_hardware_threads() {
+  if (const char* env = std::getenv("FEMTOCR_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::atomic<std::size_t> g_default_threads{0};  // 0 = env/hardware
+
+}  // namespace
+
+std::size_t default_threads() {
+  const std::size_t overridden = g_default_threads.load();
+  return overridden > 0 ? overridden : env_or_hardware_threads();
+}
+
+void set_default_threads(std::size_t n) { g_default_threads.store(n); }
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  FEMTOCR_CHECK(threads >= 1, "ThreadPool needs at least the calling thread");
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back(&ThreadPool::worker_loop, this);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::ensure_size(std::size_t threads) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (workers_.size() + 1 >= threads) return;
+  // Grow only between jobs: workers_ must not be mutated mid-dispatch.
+  done_.wait(lock, [&] { return fn_ == nullptr; });
+  while (workers_.size() + 1 < threads) {
+    workers_.emplace_back(&ThreadPool::worker_loop, this);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] {
+      return stop_ || (fn_ != nullptr && job_id_ != seen && slots_ > 0);
+    });
+    if (stop_) return;
+    seen = job_id_;
+    --slots_;
+    ++active_;
+    const std::function<void(std::size_t)>& fn = *fn_;
+    const std::size_t n = n_;
+    lock.unlock();
+    run_indices(fn, n);
+    lock.lock();
+    --active_;
+    if (active_ == 0) done_.notify_all();
+  }
+}
+
+void ThreadPool::run_indices(const std::function<void(std::size_t)>& fn,
+                             std::size_t n) {
+  InJobScope scope;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      // Abandon the remaining indices so the job drains quickly.
+      next_.store(n, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::for_each(std::size_t n, std::size_t max_threads,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (max_threads <= 1 || n == 1 || workers_.empty() || t_in_job) {
+    // Inline path: trivial jobs, a pool with no workers, or a nested call
+    // from inside a running job (joining the pool again would deadlock).
+    InJobScope scope;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // One job at a time: a second caller parks here until the pool is free.
+  done_.wait(lock, [&] { return fn_ == nullptr; });
+  fn_ = &fn;
+  n_ = n;
+  next_.store(0, std::memory_order_relaxed);
+  error_ = nullptr;
+  slots_ = std::min(max_threads - 1, workers_.size());
+  ++job_id_;
+  lock.unlock();
+  wake_.notify_all();
+
+  run_indices(fn, n);  // the caller is a full participant
+
+  lock.lock();
+  done_.wait(lock, [&] { return active_ == 0; });
+  // Workers that never claimed a ticket must not join a stale job.
+  slots_ = 0;
+  fn_ = nullptr;
+  std::exception_ptr error = error_;
+  error_ = nullptr;
+  lock.unlock();
+  done_.notify_all();  // unpark any caller queued behind this job
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+  if (threads == 0) threads = default_threads();
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  pool.ensure_size(threads);
+  pool.for_each(n, threads, fn);
+}
+
+}  // namespace femtocr::util

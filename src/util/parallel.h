@@ -1,0 +1,103 @@
+// Deterministic fan-out for independent replications.
+//
+// parallel_for(n, fn) runs fn(0), ..., fn(n-1) across a fixed pool of
+// worker threads plus the calling thread. Indices are handed out
+// dynamically through an atomic cursor, so *completion order* is
+// scheduling-dependent — callers keep results deterministic by having
+// fn(i) write only into slot i of a pre-sized buffer and folding the
+// buffer in index order afterwards. The engine may only decide *when*
+// work happens, never *what* is computed: combined with the
+// (sweep-point, scheme, replication) seeding contract in sim/experiment.h
+// this makes every experiment bitwise identical for any thread count,
+// including 1.
+//
+// Thread-count resolution (first match wins):
+//   1. the explicit `threads` argument to parallel_for,
+//   2. set_default_threads(n)   — wired to the benches' --threads flag,
+//   3. the FEMTOCR_THREADS environment variable,
+//   4. std::thread::hardware_concurrency().
+//
+// This header and parallel.cpp are the only places in the library allowed
+// to touch raw threading primitives (enforced by the no-raw-thread lint
+// rule); everything else expresses parallelism as parallel_for.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace femtocr::util {
+
+/// Worker threads parallel_for uses when `threads` is 0: the last nonzero
+/// value passed to set_default_threads(), else FEMTOCR_THREADS, else
+/// hardware concurrency. Always >= 1.
+std::size_t default_threads();
+
+/// Overrides default_threads() process-wide; 0 restores env/hardware
+/// detection. Benches wire their --threads flag here.
+void set_default_threads(std::size_t n);
+
+/// A fixed, work-stealing-free pool of `threads - 1` worker threads (the
+/// caller of for_each participates as the `threads`-th). Workers sleep on
+/// a condition variable between jobs; one job runs at a time and
+/// overlapping for_each calls from distinct threads are serialized.
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread;
+  /// ThreadPool(1) spawns no workers and runs everything inline.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism: workers + the participating caller.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), across at most max_threads threads
+  /// (capped by size()). Blocks until every index has run. If fn throws,
+  /// the remaining indices are abandoned, the pool drains, and the first
+  /// exception is rethrown here; the pool stays usable afterwards.
+  /// Calls made from inside a running job execute inline (serially) to
+  /// stay deadlock-free.
+  void for_each(std::size_t n, std::size_t max_threads,
+                const std::function<void(std::size_t)>& fn);
+
+  /// Grows the pool (while idle) so size() >= threads. Never shrinks.
+  void ensure_size(std::size_t threads);
+
+  /// The process-wide pool behind parallel_for, built on first use and
+  /// grown on demand.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  void run_indices(const std::function<void(std::size_t)>& fn,
+                   std::size_t n);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;  ///< workers wait here for a job
+  std::condition_variable done_;  ///< for_each waits here for completion
+  // Current-job state; guarded by mutex_ except the atomic cursor.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t slots_ = 0;    ///< worker participation tickets remaining
+  std::size_t active_ = 0;   ///< workers currently inside the job
+  std::uint64_t job_id_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// Runs fn(i) for i in [0, n) using `threads` threads (0 = default_threads()).
+/// Deterministic-by-construction: see the file comment.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace femtocr::util

@@ -1,0 +1,180 @@
+// Determinism suite for the parallel replication engine: every summary a
+// bench can print must be **bitwise identical** for any thread count,
+// including 1, and identical to a hand-rolled serial loop over the
+// Simulator. This is the contract that lets --threads be a pure
+// performance knob — if any of these EXPECT_EQs on doubles ever needs a
+// tolerance, the engine has started changing WHAT is computed, not WHEN.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+#include "sim/sweeps.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace femtocr;
+
+sim::Scenario small_scenario() {
+  sim::Scenario s = sim::single_fbs_scenario(/*seed=*/7);
+  s.num_gops = 3;  // keep each replication cheap; coverage comes from runs
+  s.finalize();
+  return s;
+}
+
+void expect_stat_identical(const util::RunningStat& a,
+                           const util::RunningStat& b) {
+  EXPECT_EQ(a.count(), b.count());
+  // Exact double equality is deliberate: same seeds + same fold order
+  // must give the same bits regardless of which worker ran what.
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+void expect_summary_identical(const sim::SchemeSummary& a,
+                              const sim::SchemeSummary& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.runs, b.runs);
+  expect_stat_identical(a.mean_psnr, b.mean_psnr);
+  expect_stat_identical(a.bound_psnr, b.bound_psnr);
+  ASSERT_EQ(a.per_user.size(), b.per_user.size());
+  for (std::size_t j = 0; j < a.per_user.size(); ++j) {
+    expect_stat_identical(a.per_user[j], b.per_user[j]);
+  }
+  expect_stat_identical(a.collision_rate, b.collision_rate);
+  expect_stat_identical(a.avg_available, b.avg_available);
+  expect_stat_identical(a.avg_expected_channels, b.avg_expected_channels);
+}
+
+/// Runs `body` under each thread count and checks the outputs against the
+/// threads=1 reference.
+struct ThreadDefaultGuard {
+  ~ThreadDefaultGuard() { femtocr::util::set_default_threads(0); }
+};
+
+TEST(Determinism, SweepBitwiseIdenticalAcrossThreadCounts) {
+  ThreadDefaultGuard guard;
+  const sim::Scenario base = small_scenario();
+  const std::vector<double> xs = {0.4, 0.6};
+  const auto apply = [](sim::Scenario& s, double eta) {
+    s.set_utilization(eta);
+    s.finalize();
+  };
+  constexpr std::size_t kRuns = 5;
+
+  util::set_default_threads(1);
+  const auto reference = sim::sweep(base, xs, apply, kRuns);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    util::set_default_threads(threads);
+    const auto rows = sim::sweep(base, xs, apply, kRuns);
+    ASSERT_EQ(rows.size(), reference.size()) << "threads=" << threads;
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      EXPECT_EQ(rows[p].x, reference[p].x);
+      ASSERT_EQ(rows[p].schemes.size(), reference[p].schemes.size());
+      for (std::size_t k = 0; k < rows[p].schemes.size(); ++k) {
+        expect_summary_identical(rows[p].schemes[k],
+                                 reference[p].schemes[k]);
+      }
+    }
+  }
+}
+
+TEST(Determinism, RunAllSchemesBitwiseIdenticalAcrossThreadCounts) {
+  ThreadDefaultGuard guard;
+  const sim::Scenario scenario = small_scenario();
+  constexpr std::size_t kRuns = 6;
+
+  util::set_default_threads(1);
+  const auto reference = sim::run_all_schemes(scenario, kRuns);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    util::set_default_threads(threads);
+    const auto summaries = sim::run_all_schemes(scenario, kRuns);
+    ASSERT_EQ(summaries.size(), reference.size());
+    for (std::size_t k = 0; k < summaries.size(); ++k) {
+      expect_summary_identical(summaries[k], reference[k]);
+    }
+  }
+}
+
+TEST(Determinism, EngineMatchesHandRolledSerialLoop) {
+  // Pins the (seed, run) contract itself: the engine must agree with a
+  // plain serial loop over the Simulator — the pre-parallel code path.
+  ThreadDefaultGuard guard;
+  const sim::Scenario scenario = small_scenario();
+  constexpr std::size_t kRuns = 4;
+
+  sim::SchemeSummary serial;
+  serial.kind = core::SchemeKind::kProposed;
+  serial.runs = kRuns;
+  serial.per_user.resize(scenario.users.size());
+  for (std::size_t r = 0; r < kRuns; ++r) {
+    sim::Simulator simulation(scenario, core::SchemeKind::kProposed, r);
+    const sim::RunResult res = simulation.run();
+    serial.mean_psnr.add(res.mean_psnr);
+    serial.bound_psnr.add(res.mean_bound_psnr);
+    for (std::size_t j = 0; j < res.user_mean_psnr.size(); ++j) {
+      serial.per_user[j].add(res.user_mean_psnr[j]);
+    }
+    serial.collision_rate.add(res.collision_rate);
+    serial.avg_available.add(res.avg_available);
+    serial.avg_expected_channels.add(res.avg_expected_channels);
+  }
+
+  util::set_default_threads(4);
+  const sim::SchemeSummary parallel =
+      sim::run_experiment(scenario, core::SchemeKind::kProposed, kRuns);
+  expect_summary_identical(parallel, serial);
+}
+
+TEST(Determinism, RunResultsOrderedByRunIndex) {
+  ThreadDefaultGuard guard;
+  const sim::Scenario scenario = small_scenario();
+  util::set_default_threads(8);
+  const auto results =
+      sim::run_results(scenario, core::SchemeKind::kProposed, 5);
+  ASSERT_EQ(results.size(), 5u);
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    // Slot r must hold run r: rerunning run r alone reproduces it.
+    sim::Simulator simulation(scenario, core::SchemeKind::kProposed, r);
+    const sim::RunResult solo = simulation.run();
+    EXPECT_EQ(results[r].mean_psnr, solo.mean_psnr) << "run " << r;
+    EXPECT_EQ(results[r].collision_rate, solo.collision_rate) << "run " << r;
+  }
+}
+
+TEST(Determinism, SchemeSummaryMergeCombinesDisjointBatches) {
+  ThreadDefaultGuard guard;
+  util::set_default_threads(2);
+  const sim::Scenario scenario = small_scenario();
+  // 6 runs in one batch vs the same 6 runs split 4 + 2 and merged: same
+  // count everywhere, means equal to near-ulp (merge uses the parallel
+  // Welford combination, not the sequential fold).
+  const auto all = sim::run_results(scenario, core::SchemeKind::kProposed, 6);
+  const auto whole = sim::summarize_runs(core::SchemeKind::kProposed,
+                                         scenario.users.size(), all.data(), 6);
+  auto head = sim::summarize_runs(core::SchemeKind::kProposed,
+                                  scenario.users.size(), all.data(), 4);
+  const auto tail = sim::summarize_runs(core::SchemeKind::kProposed,
+                                        scenario.users.size(), all.data() + 4,
+                                        2);
+  head.merge(tail);
+  EXPECT_EQ(head.runs, whole.runs);
+  EXPECT_EQ(head.mean_psnr.count(), whole.mean_psnr.count());
+  EXPECT_NEAR(head.mean_psnr.mean(), whole.mean_psnr.mean(), 1e-12);
+  EXPECT_NEAR(head.mean_psnr.variance(), whole.mean_psnr.variance(), 1e-12);
+  EXPECT_EQ(head.mean_psnr.min(), whole.mean_psnr.min());
+  EXPECT_EQ(head.mean_psnr.max(), whole.mean_psnr.max());
+  ASSERT_EQ(head.per_user.size(), whole.per_user.size());
+  for (std::size_t j = 0; j < head.per_user.size(); ++j) {
+    EXPECT_NEAR(head.per_user[j].mean(), whole.per_user[j].mean(), 1e-12);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// util/parallel: the fixed thread pool and parallel_for must hand every
+// index to exactly one invocation, propagate exceptions, survive reuse
+// after a throw, and stay deadlock-free under nesting — the determinism
+// of every figure rests on this engine only deciding WHEN work runs.
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace futil = femtocr::util;
+
+namespace {
+
+/// Restores the process-wide thread default on scope exit so tests don't
+/// leak configuration into each other.
+struct ThreadDefaultGuard {
+  ~ThreadDefaultGuard() { futil::set_default_threads(0); }
+};
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadDefaultGuard guard;
+  futil::set_default_threads(4);
+  constexpr std::size_t kN = 1000;
+  // Slot i is written only by fn(i): no synchronization needed beyond the
+  // engine's own join, which is exactly the contract callers rely on.
+  std::vector<int> visits(kN, 0);
+  std::atomic<std::size_t> total{0};
+  futil::parallel_for(kN, [&](std::size_t i) {
+    ++visits[i];
+    total.fetch_add(1);
+  });
+  EXPECT_EQ(total.load(), kN);
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0),
+            static_cast<int>(kN));
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i], 1) << i;
+}
+
+TEST(ParallelFor, ZeroIterationsNeverInvokes) {
+  ThreadDefaultGuard guard;
+  futil::set_default_threads(4);
+  bool called = false;
+  futil::parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, FewerIterationsThanThreads) {
+  ThreadDefaultGuard guard;
+  futil::set_default_threads(8);
+  std::vector<int> visits(3, 0);
+  futil::parallel_for(3, [&](std::size_t i) { ++visits[i]; });
+  EXPECT_EQ(visits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  // threads=1 must not touch the pool at all: indices run on the calling
+  // thread, in order.
+  std::vector<std::size_t> order;
+  futil::parallel_for(
+      5,
+      [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), std::this_thread::get_id());
+        order.push_back(i);
+      },
+      /*threads=*/1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadDefaultGuard guard;
+  futil::set_default_threads(4);
+  EXPECT_THROW(
+      futil::parallel_for(100,
+                          [&](std::size_t i) {
+                            if (i == 7) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+  // The pool must have drained cleanly: the next job runs to completion.
+  std::atomic<std::size_t> total{0};
+  futil::parallel_for(50, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 50u);
+}
+
+TEST(ParallelFor, ExceptionOnSerialPathPropagates) {
+  EXPECT_THROW(futil::parallel_for(
+                   3, [](std::size_t) { throw std::logic_error("serial"); },
+                   /*threads=*/1),
+               std::logic_error);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadDefaultGuard guard;
+  futil::set_default_threads(4);
+  std::atomic<std::size_t> inner_total{0};
+  futil::parallel_for(4, [&](std::size_t) {
+    // A replication that itself fans out must not re-enter the pool.
+    futil::parallel_for(4, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 16u);
+}
+
+TEST(ParallelFor, ManyThreadsManyIndices) {
+  ThreadDefaultGuard guard;
+  futil::set_default_threads(8);
+  std::vector<double> out(64, 0.0);
+  futil::parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 2.0;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<double>(i) * 2.0);
+  }
+}
+
+TEST(ThreadPool, SizeCountsCallerAndWorkers) {
+  futil::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  futil::ThreadPool solo(1);
+  EXPECT_EQ(solo.size(), 1u);
+}
+
+TEST(ThreadPool, ForEachOnPrivatePool) {
+  futil::ThreadPool pool(4);
+  std::vector<int> visits(100, 0);
+  pool.for_each(100, 4, [&](std::size_t i) { ++visits[i]; });
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 100);
+}
+
+TEST(ThreadPool, MaxThreadsOneRunsInline) {
+  futil::ThreadPool pool(4);
+  std::vector<std::size_t> order;
+  pool.for_each(4, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(DefaultThreads, OverrideWinsThenEnvThenHardware) {
+  ThreadDefaultGuard guard;
+  futil::set_default_threads(3);
+  EXPECT_EQ(futil::default_threads(), 3u);
+  futil::set_default_threads(0);
+  // With no override, the value comes from FEMTOCR_THREADS or the
+  // hardware; either way it is at least 1.
+  EXPECT_GE(futil::default_threads(), 1u);
+}
+
+TEST(DefaultThreads, EnvVariableIsHonoured) {
+  ThreadDefaultGuard guard;
+  futil::set_default_threads(0);
+  ASSERT_EQ(setenv("FEMTOCR_THREADS", "5", /*overwrite=*/1), 0);
+  EXPECT_EQ(futil::default_threads(), 5u);
+  ASSERT_EQ(setenv("FEMTOCR_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(futil::default_threads(), 1u);  // garbage falls back to hardware
+  ASSERT_EQ(unsetenv("FEMTOCR_THREADS"), 0);
+}
+
+}  // namespace

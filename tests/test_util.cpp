@@ -155,6 +155,39 @@ TEST(RunningStat, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStat, MergeKnownReferenceValues) {
+  // Per-worker chunks merged pairwise vs the single-stream reference —
+  // the shape the parallel replication engine relies on.
+  util::RunningStat reference;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) reference.add(x);
+
+  util::RunningStat w0, w1, w2;
+  for (double x : {2.0, 4.0, 4.0}) w0.add(x);
+  for (double x : {4.0, 5.0}) w1.add(x);
+  for (double x : {5.0, 7.0, 9.0}) w2.add(x);
+  w1.merge(w2);
+  w0.merge(w1);
+  EXPECT_EQ(w0.count(), reference.count());
+  EXPECT_NEAR(w0.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(w0.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w0.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w0.max(), 9.0);
+  EXPECT_NEAR(w0.stderr_mean(), reference.stderr_mean(), 1e-12);
+}
+
+TEST(RunningStat, MergeSingletons) {
+  // n=1 chunks have zero m2; the merge must still recover the spread.
+  util::RunningStat a, b;
+  a.add(10.0);
+  b.add(20.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 50.0);  // ((10-15)^2 + (20-15)^2) / 1
+  EXPECT_DOUBLE_EQ(a.min(), 10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+}
+
 TEST(Stats, TCriticalValues) {
   EXPECT_NEAR(util::t_critical95(1), 12.706, 1e-3);
   EXPECT_NEAR(util::t_critical95(9), 2.262, 1e-3);

@@ -17,6 +17,7 @@
 #include "sim/config_io.h"
 #include "sim/sweeps.h"
 #include "util/args.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace {
@@ -38,6 +39,10 @@ Overrides (applied on top of the scenario):
   --mobility=STDDEV_M_PER_GOP     --uncertainty-sensing
 
 Execution:
+  --threads=N                     replication worker threads; 0 = auto
+                                  (FEMTOCR_THREADS env, else hardware
+                                  concurrency). Output is bitwise identical
+                                  for every thread count.
   --scheme=proposed|h1|h2|all     (default: all)
   --per-user                      also print the per-user quality table
   --sweep=eta|channels|b0|eps     sweep one knob over [--from, --to] in
@@ -193,6 +198,8 @@ int main(int argc, char** argv) {
       std::cout << kHelp;
       return 0;
     }
+    util::set_default_threads(
+        static_cast<std::size_t>(args.get("threads", std::int64_t{0})));
 
     sim::Scenario scenario;
     const std::string config = args.get("config", std::string());

@@ -10,6 +10,10 @@ Scans the library sources (``src/``) and enforces:
   no-raw-rand   no rand()/srand()/drand48()/random() in library code —
                 randomness flows through util/rng.h so runs stay seedable
                 and reproducible.
+  no-raw-thread no std::thread/std::jthread/std::async/pthread_create and
+                no <thread>/<future> includes outside src/util/parallel.* —
+                all fan-out goes through util::parallel_for so replication
+                results stay bitwise deterministic for any thread count.
   no-stdio      no std::cout / std::cerr / printf-family output in library
                 code — use util/log.h (the sink in util/log.cpp carries a
                 file-level suppression).
@@ -53,7 +57,14 @@ LAYER_DAG = {
     "sim": {"sim", "core", "spectrum", "phy", "video", "net", "util"},
 }
 
-RULES = ("layer-dag", "no-raw-rand", "no-stdio", "no-float-eq", "pragma-once")
+RULES = (
+    "layer-dag",
+    "no-raw-rand",
+    "no-raw-thread",
+    "no-stdio",
+    "no-float-eq",
+    "pragma-once",
+)
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 # The optional std:: / :: prefix is matched explicitly (rather than letting
@@ -61,6 +72,13 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 # cannot evade the rule; the lookbehind still rejects other qualifiers
 # (my::random, obj.rand) and identifier suffixes (strand).
 RAND_RE = re.compile(r"(?<![\w:.])(?:std::|::)?(?:s?rand|drand48|random)\s*\(")
+# Raw threading: spawn/async primitives and their headers. std::this_thread
+# does not match (the literal "thread" must follow "std::" directly); the
+# include form is matched on the raw line shape, not inside strings.
+THREAD_RE = re.compile(
+    r"(?<![\w:.])(?:(?:std::|::)?pthread_create\b|std::(?:jthread|thread|async)\b)"
+    r"|^\s*#\s*include\s+<(?:thread|future)>"
+)
 STDIO_RE = re.compile(
     r"std::(?:cout|cerr)|(?<![\w:.])(?:std::|::)?(?:f?printf|puts)\s*\("
 )
@@ -117,6 +135,12 @@ def lint_file(path: Path, layer: str | None) -> list[Violation]:
 
     out: list[Violation] = []
 
+    # The replication engine is the one place allowed to own raw threads.
+    thread_exempt = path.parent.name == "util" and path.name in (
+        "parallel.h",
+        "parallel.cpp",
+    )
+
     def report(lineno: int, rule: str, msg: str, raw: str) -> None:
         if rule in file_allow:
             return
@@ -139,6 +163,16 @@ def lint_file(path: Path, layer: str | None) -> list[Violation]:
                     f"(allowed: {', '.join(sorted(LAYER_DAG[layer]))})",
                     raw,
                 )
+
+        if THREAD_RE.search(code) and not thread_exempt:
+            report(
+                i,
+                "no-raw-thread",
+                "raw threading primitive in library code — fan out through "
+                "util/parallel.h (parallel_for keeps results bitwise "
+                "deterministic for any thread count)",
+                raw,
+            )
 
         if RAND_RE.search(code):
             report(
@@ -223,6 +257,7 @@ def self_test(fixture_src: Path) -> int:
             ("phy/bad_io.cpp", "no-stdio"): 3,
             ("phy/bad_io.cpp", "no-raw-rand"): 2,
             ("core/bad_float.cpp", "no-float-eq"): 1,
+            ("core/bad_thread.cpp", "no-raw-thread"): 4,
             ("video/bad_guard.h", "pragma-once"): 2,
         }
     )

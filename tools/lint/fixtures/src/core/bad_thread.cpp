@@ -1,0 +1,20 @@
+// Seeded fixture: raw threading primitives that no-raw-thread must flag.
+// The self-test pins exactly 4 violations in this file — the two includes
+// and the two spawn/async uses. std::this_thread::yield() below must NOT
+// fire: the rule targets thread creation, not thread-local queries.
+#include <thread>
+#include <future>
+
+namespace femtocr::core {
+
+void fixture_spawns_raw_thread() {
+  std::thread worker([] { std::this_thread::yield(); });
+  worker.join();
+}
+
+int fixture_uses_async() {
+  auto pending = std::async([] { return 42; });
+  return pending.get();
+}
+
+}  // namespace femtocr::core

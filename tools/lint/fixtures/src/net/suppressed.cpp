@@ -14,4 +14,9 @@ bool fixture_allowed_eq(double x) {
   return x == 1.0;  // lint-allow: no-float-eq
 }
 
+void fixture_allowed_thread() {
+  std::thread bridge;  // lint-allow: no-raw-thread
+  (void)bridge;
+}
+
 }  // namespace femtocr::net
