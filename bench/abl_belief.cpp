@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   util::Table table({"mixing (P01+P10)", "stationary prior (dB)",
                      "belief tracking (dB)", "gain (dB)", "G_t static",
                      "G_t tracked"});

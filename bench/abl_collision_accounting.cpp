@@ -18,7 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   util::Table table({"scenario", "scheme", "expected (dB)", "realized (dB)",
                      "difference"});
   util::Table bounds({"scenario", "per-slot bound (dB)",

@@ -19,7 +19,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   util::Table table({"configuration", "PSNR (dB)", "MBS energy (J)",
                      "FBS energy (J)", "enhancement dB per joule"});
 

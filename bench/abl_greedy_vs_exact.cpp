@@ -45,7 +45,7 @@ femtocr::core::SlotContext random_context(
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   util::Rng rng(2025);
   const auto graph = net::InterferenceGraph::from_edges(3, {{0, 1}, {1, 2}});
 

@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   util::Table table({"utilization profile", "Proposed (dB)", "avg G_t",
                      "collision rate"});
   struct Profile {

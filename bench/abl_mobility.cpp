@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   util::Table table({"step stddev (m/GOP)", "Proposed (dB)",
                      "Heuristic1 (dB)", "Heuristic2 (dB)"});
   for (double stddev : {0.0, 1.0, 3.0, 6.0}) {

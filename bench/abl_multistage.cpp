@@ -18,7 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   util::Rng rng(777);
   util::Table table({"users", "instances", "mean gap (%)", "max gap (%)",
                      "myopic wins exactly (%)"});

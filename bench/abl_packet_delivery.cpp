@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   util::Table table({"scenario", "scheme", "fluid (dB)", "packet (dB)",
                      "gap (dB)"});
   for (const bool interfering : {false, true}) {

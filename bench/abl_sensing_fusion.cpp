@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   util::Table table({"sensors (eps=delta)", "configuration", "PSNR (dB)",
                      "collision rate", "avg G_t"});
   for (double err : {0.2, 0.3, 0.4}) {

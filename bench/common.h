@@ -1,10 +1,13 @@
 // Shared CLI + wall-clock harness for the figure/ablation bench binaries.
 //
 // Every bench accepts:
-//   --runs=N      replications per experiment cell (default: the paper's
-//                 10 unless the bench overrides it)
-//   --threads=N   worker threads for the replication engine; 0 = auto
-//                 (FEMTOCR_THREADS env, else hardware concurrency)
+//   --runs=N           replications per experiment cell (default: the
+//                      paper's 10 unless the bench overrides it)
+//   --threads=N        worker threads for the replication engine; 0 = auto
+//                      (FEMTOCR_THREADS env, else hardware concurrency)
+//   --metrics-out=FILE dump the process-wide metrics registry as JSON on
+//                      report() (schema: docs/OBSERVABILITY.md, validated
+//                      by tools/metrics_report.py --check)
 //
 // The timing line goes to *stderr*, one machine-parseable line:
 //   timing: bench=<name> threads=<t> replications=<n> elapsed_s=<s> reps_per_s=<r>
@@ -13,23 +16,24 @@
 // --threads=4 to hold the determinism contract.
 #pragma once
 
-#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "util/args.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/timer.h"
 
 namespace femtocr::benchutil {
 
 class Harness {
  public:
-  Harness(int argc, char** argv, std::size_t default_runs = 10)
-      : start_(std::chrono::steady_clock::now()) {
+  Harness(int argc, char** argv, std::size_t default_runs = 10) {
     name_ = argc > 0 ? argv[0] : "bench";
     const std::string::size_type slash = name_.find_last_of('/');
     if (slash != std::string::npos) name_ = name_.substr(slash + 1);
+    manifest_ = util::make_metrics_manifest(argc, argv);
     try {
       const util::Args args(argc, argv);
       runs_ = static_cast<std::size_t>(
@@ -37,30 +41,38 @@ class Harness {
       const auto threads =
           static_cast<std::size_t>(args.get("threads", std::int64_t{0}));
       util::set_default_threads(threads);
+      manifest_.threads = util::default_threads();
+      metrics_path_ = args.get("metrics-out", std::string());
       const auto unknown = args.unconsumed();
       if (!unknown.empty()) {
         std::cerr << name_ << ": unknown flag(s):";
         for (const auto& k : unknown) std::cerr << " --" << k;
-        std::cerr << " (supported: --runs=N --threads=N)\n";
+        std::cerr << " (supported: --runs=N --threads=N --metrics-out=FILE)\n";
         std::exit(2);
       }
     } catch (const std::exception& e) {
       std::cerr << name_ << ": " << e.what()
-                << " (supported: --runs=N --threads=N)\n";
+                << " (supported: --runs=N --threads=N --metrics-out=FILE)\n";
       std::exit(2);
     }
   }
 
+  ~Harness() { dump_metrics(); }  // benches that never call report()
+
   /// Replications per experiment cell (--runs).
   std::size_t runs() const { return runs_; }
 
+  /// Manifest provenance the bench knows better than the harness does.
+  void set_manifest_seed(std::uint64_t seed) { manifest_.seed = seed; }
+  void set_manifest_scheme(const std::string& scheme) {
+    manifest_.scheme = scheme;
+  }
+
   /// Prints the stderr timing line; `replications` is the total number of
   /// independent simulation runs the bench executed (0 = bench does not
-  /// replicate, only elapsed time is reported).
-  void report(std::size_t replications) const {
-    const double secs = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - start_)
-                            .count();
+  /// replicate, only elapsed time is reported). Also dumps --metrics-out.
+  void report(std::size_t replications) {
+    const double secs = watch_.elapsed_seconds();
     std::cerr << "timing: bench=" << name_
               << " threads=" << util::default_threads()
               << " replications=" << replications << " elapsed_s=" << secs;
@@ -68,12 +80,25 @@ class Harness {
       std::cerr << " reps_per_s=" << static_cast<double>(replications) / secs;
     }
     std::cerr << '\n';
+    dump_metrics();
   }
 
  private:
+  void dump_metrics() {
+    if (metrics_path_.empty() || dumped_) return;
+    dumped_ = true;
+    static util::TimerStat& t_total =
+        util::metrics().timer("bench.total");
+    t_total.record_ns(watch_.elapsed_ns());
+    util::write_metrics_file(metrics_path_, manifest_);
+  }
+
   std::string name_;
   std::size_t runs_ = 10;
-  std::chrono::steady_clock::time_point start_;
+  util::Stopwatch watch_;
+  util::MetricsManifest manifest_;
+  std::string metrics_path_;
+  bool dumped_ = false;
 };
 
 }  // namespace femtocr::benchutil

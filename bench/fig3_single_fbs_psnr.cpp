@@ -14,8 +14,10 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   sim::Scenario scenario = sim::single_fbs_scenario(/*seed=*/1);
+  harness.set_manifest_seed(scenario.seed);
+  harness.set_manifest_scheme("all");
   const auto summaries = sim::run_all_schemes(scenario, harness.runs());
 
   std::cout << "Fig. 3 — single FBS: per-user Y-PSNR (dB), mean of "

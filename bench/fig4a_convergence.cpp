@@ -18,7 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   const sim::Scenario scenario = sim::single_fbs_scenario(/*seed=*/1);
 
   // Reconstruct the first slot's problem exactly as the simulator sees it.

@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   sim::Scenario base = sim::single_fbs_scenario(/*seed=*/1);
   const std::vector<double> xs = {4, 6, 8, 10, 12};
   const auto rows = sim::sweep(

@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   sim::Scenario base = sim::single_fbs_scenario(/*seed=*/1);
   const std::vector<double> xs = {0.3, 0.4, 0.5, 0.6, 0.7};
   const auto rows = sim::sweep(

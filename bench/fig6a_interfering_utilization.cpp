@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   sim::Scenario base = sim::interfering_scenario(/*seed=*/1);
   base.num_gops = 10;  // 100 slots per run keeps the greedy sweep tractable
   const std::vector<double> xs = {0.3, 0.4, 0.5, 0.6, 0.7};

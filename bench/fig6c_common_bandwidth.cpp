@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  const benchutil::Harness harness(argc, argv);
+  benchutil::Harness harness(argc, argv);
   sim::Scenario base = sim::interfering_scenario(/*seed=*/1);
   base.num_gops = 10;
   base.licensed_bandwidth = 0.3;

@@ -3,7 +3,9 @@
 // distributed subgradient, and the greedy channel allocator.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "core/dual_solver.h"
 #include "core/greedy.h"
@@ -11,6 +13,7 @@
 #include "core/waterfill.h"
 #include "net/interference_graph.h"
 #include "spectrum/sensing.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace {
@@ -107,4 +110,29 @@ BENCHMARK(BM_GreedyAllocate)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN(): --metrics-out=FILE must be
+// stripped before benchmark::Initialize sees (and rejects) it.
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--metrics-out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      metrics_path = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_path.empty()) {
+    auto manifest = femtocr::util::make_metrics_manifest(argc, argv);
+    manifest.seed = 99;  // the fixture Rng seed above
+    manifest.scheme = "micro";
+    femtocr::util::write_metrics_file(metrics_path, manifest);
+  }
+  return 0;
+}

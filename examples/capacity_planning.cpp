@@ -14,6 +14,7 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/args.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -52,5 +53,6 @@ int main(int argc, char** argv) {
                "quality floor (e.g. 33 dB) at the spectrum you can access.\n"
                "More channels help until the per-stream enhancement rate\n"
                "saturates; more users dilute each stream's share.\n";
+  util::write_metrics_if_requested(args, argc, argv);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "sim/scenario.h"
 #include "spectrum/spectrum_manager.h"
 #include "util/args.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/table.h"
 #include "video/mgs_model.h"
@@ -104,5 +105,6 @@ int main(int argc, char** argv) {
             << "\ncentralized optimum   " << util::Table::num(
                    central.objective, 6)
             << "\n";
+  util::write_metrics_if_requested(args, argc, argv);
   return 0;
 }

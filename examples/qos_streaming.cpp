@@ -18,6 +18,7 @@
 #include "sim/simulator.h"
 #include "util/stats.h"
 #include "util/args.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -85,5 +86,6 @@ int main(int argc, char** argv) {
                "cost (guarantees are paid for in efficiency); infeasible\n"
                "uniform floors degrade both — flag the users that matter\n"
                "(targeted row) instead of flooring everyone.\n";
+  util::write_metrics_if_requested(args, argc, argv);
   return 0;
 }

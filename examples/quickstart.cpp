@@ -9,6 +9,7 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/args.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -54,5 +55,6 @@ int main(int argc, char** argv) {
                    util::Table::num(proposed.per_user[j].mean(), 2)});
   }
   users.print(std::cout);
+  util::write_metrics_if_requested(args, argc, argv);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "sim/scenario.h"
 #include "spectrum/sensing.h"
 #include "util/args.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -72,5 +73,6 @@ int main(int argc, char** argv) {
                "error types into the availability posteriors (Eqs. 2-4) and\n"
                "the access policy (Eq. 7), so the system degrades gracefully\n"
                "instead of falling off a cliff at bad operating points.\n";
+  util::write_metrics_if_requested(args, argc, argv);
   return 0;
 }

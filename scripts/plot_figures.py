@@ -11,6 +11,12 @@ summaries otherwise:
 
 Only the ``fig*`` tags are plotted (the ablation tables are text-first);
 values like ``34.31 +/- 0.08`` are split into mean and 95% CI error bars.
+
+A per-slot trace CSV (sim::TraceRecorder::write_csv / the examples' trace
+dumps) can be plotted with ``--trace``: the slot's Eq. (23) bound gap
+(``bound_gap`` column, precomputed by the simulator) over time:
+
+    python3 scripts/plot_figures.py --trace trace.csv --outdir plots/
 """
 
 import argparse
@@ -118,11 +124,76 @@ def plot_fig4a(rows, outdir, plt):
     print(f"wrote {path}")
 
 
+def parse_trace_csv(lines):
+    """Per-slot (slot, bound_gap) pairs from a TraceRecorder CSV dump.
+
+    The trace repeats slot-level columns once per user; slots deduplicate
+    on the slot id. Returns [] when there is no bound_gap column.
+    """
+    header = lines[0].strip().split(",") if lines else []
+    if "bound_gap" not in header or "slot" not in header:
+        return []
+    slot_col = header.index("slot")
+    gap_col = header.index("bound_gap")
+    seen = {}
+    for line in lines[1:]:
+        cells = line.strip().split(",")
+        if len(cells) <= max(slot_col, gap_col):
+            continue
+        seen[int(cells[slot_col])] = float(cells[gap_col])
+    return sorted(seen.items())
+
+
+def plot_trace(pairs, outdir, plt):
+    slots = [s for s, _ in pairs]
+    gaps = [g for _, g in pairs]
+    fig, ax = plt.subplots(figsize=(5.2, 3.6))
+    ax.plot(slots, gaps, marker=".", linewidth=1)
+    ax.set_xlabel("slot")
+    ax.set_ylabel("Eq. (23) bound gap (Q_ub - Q)")
+    ax.set_title("per-slot greedy optimality gap")
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    path = os.path.join(outdir, "trace_bound_gap.png")
+    fig.savefig(path, dpi=150)
+    print(f"wrote {path}")
+
+
+def run_trace_mode(path, outdir):
+    with open(path) as f:
+        lines = f.readlines()
+    pairs = parse_trace_csv(lines)
+    if not pairs:
+        print("no bound_gap column found — is this a TraceRecorder CSV?",
+              file=sys.stderr)
+        return 1
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib unavailable — text summary only:\n")
+        worst = max(pairs, key=lambda p: p[1])
+        mean = sum(g for _, g in pairs) / len(pairs)
+        print(f"slots: {len(pairs)}  mean bound_gap: {mean:.6g}  "
+              f"worst: {worst[1]:.6g} (slot {worst[0]})")
+        return 0
+    os.makedirs(outdir, exist_ok=True)
+    plot_trace(pairs, outdir, plt)
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("log", nargs="?", help="bench log (default: stdin)")
     parser.add_argument("--outdir", default="plots")
+    parser.add_argument("--trace", metavar="CSV",
+                        help="plot the bound_gap column of a per-slot "
+                             "trace CSV instead of bench figures")
     args = parser.parse_args()
+
+    if args.trace:
+        return run_trace_mode(args.trace, args.outdir)
 
     if args.log:
         with open(args.log) as f:

@@ -7,6 +7,7 @@
 #include "core/subproblem.h"
 #include "util/check.h"
 #include "util/mathx.h"
+#include "util/metrics.h"
 
 namespace femtocr::core {
 
@@ -59,6 +60,26 @@ void rescale_to_budgets(const SlotContext& ctx, SlotAllocation& alloc) {
 DualResult solve_dual(const SlotContext& ctx,
                       const std::vector<double>& gt_per_fbs,
                       const DualOptions& options) {
+  // core.dual.iterations counts dual-price iterations across both solvers
+  // of problem (12): subgradient passes here and water-level bisection
+  // steps in waterfill_resource — the water level is the same Lagrange
+  // dual variable (see docs/OBSERVABILITY.md).
+  static util::Counter& c_solves = util::metrics().counter("core.dual.solves");
+  static util::Counter& c_iters =
+      util::metrics().counter("core.dual.iterations");
+  static util::Counter& c_updates =
+      util::metrics().counter("core.dual.price_updates");
+  static util::Counter& c_converged =
+      util::metrics().counter("core.dual.converged");
+  static util::Counter& c_warm_hits =
+      util::metrics().counter("core.dual.warm_start.hits");
+  static util::Counter& c_warm_misses =
+      util::metrics().counter("core.dual.warm_start.misses");
+  static util::Histogram& h_iters =
+      util::metrics().histogram("core.dual.iterations_per_solve");
+  static util::TimerStat& t_solve = util::metrics().timer("core.dual.solve");
+  const util::ScopedTimer timer(t_solve);
+
   ctx.validate();
   FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
                 "need one expected channel count per FBS");
@@ -66,6 +87,12 @@ DualResult solve_dual(const SlotContext& ctx,
   FEMTOCR_CHECK(options.tolerance >= 0.0, "tolerance must be nonnegative");
 
   const std::size_t num_prices = ctx.num_fbs + 1;
+  c_solves.add();
+  if (options.warm_start) {
+    c_warm_hits.add();
+  } else {
+    c_warm_misses.add();
+  }
   std::vector<double> lambda(num_prices, options.initial_lambda);
   if (options.warm_start) {
     FEMTOCR_CHECK(options.warm_start->size() == num_prices,
@@ -97,6 +124,11 @@ DualResult solve_dual(const SlotContext& ctx,
       break;
     }
   }
+
+  c_iters.add(result.iterations);
+  c_updates.add(result.iterations * num_prices);
+  if (result.converged) c_converged.add();
+  h_iters.observe(static_cast<double>(result.iterations));
 
   // Primal recovery at the final prices, then projection onto the budgets.
   user_best_responses(ctx, gt_per_fbs, lambda, result.allocation);

@@ -5,11 +5,18 @@
 
 #include "core/waterfill.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace femtocr::core {
 
 ExactResult exact_allocate(const SlotContext& ctx, bool exhaustive_assignment,
                            std::size_t max_combinations) {
+  static util::Counter& c_combos =
+      util::metrics().counter("core.exact.combinations");
+  static util::TimerStat& t_alloc =
+      util::metrics().timer("core.exact.allocate");
+  const util::ScopedTimer timer(t_alloc);
+
   ctx.validate();
   const auto independent_sets = ctx.graph->independent_sets();
   const std::size_t num_sets = independent_sets.size();
@@ -57,6 +64,7 @@ ExactResult exact_allocate(const SlotContext& ctx, bool exhaustive_assignment,
     if (num_channels == 0) break;
   }
 
+  c_combos.add(result.combinations);  // one shard add for the whole search
   result.allocation.upper_bound = result.allocation.objective;
   FEMTOCR_CHECK_FINITE(result.allocation.objective,
                        "exact search must end on a finite objective");

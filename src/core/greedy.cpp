@@ -8,10 +8,22 @@
 #include "core/objective.h"
 #include "core/waterfill.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace femtocr::core {
 
 GreedyResult greedy_allocate(const SlotContext& ctx) {
+  static util::Counter& c_allocs =
+      util::metrics().counter("core.greedy.allocations");
+  static util::Counter& c_cand_evals =
+      util::metrics().counter("core.greedy.candidate_evals");
+  static util::Histogram& h_gap =
+      util::metrics().histogram("core.greedy.bound_gap");
+  static util::TimerStat& t_alloc =
+      util::metrics().timer("core.greedy.allocate");
+  const util::ScopedTimer timer(t_alloc);
+  c_allocs.add();
+
   ctx.validate();
   for (const double p : ctx.posterior) {
     FEMTOCR_CHECK_PROB(p, "channel availability posterior out of range");
@@ -42,6 +54,7 @@ GreedyResult greedy_allocate(const SlotContext& ctx) {
     double best_q = -std::numeric_limits<double>::infinity();
     std::size_t best_idx = 0;
     SlotAllocation best_alloc;
+    c_cand_evals.add(candidates.size());
     for (std::size_t k = 0; k < candidates.size(); ++k) {
       const auto [i, a] = candidates[k];
       std::vector<double> trial = gt;
@@ -111,6 +124,10 @@ GreedyResult greedy_allocate(const SlotContext& ctx) {
   FEMTOCR_DCHECK_LE(
       result.d_bar, static_cast<double>(ctx.graph->max_degree()) + 1e-12,
       "Dbar is a convex combination of degrees");
+
+  // Eq. (23) bound gap for this slot (clamped: the contract above already
+  // pinned it nonnegative up to rounding slack).
+  h_gap.observe(std::max(0.0, result.bound_tight - current.objective));
 
   result.allocation = std::move(current);
   return result;

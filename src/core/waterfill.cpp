@@ -7,6 +7,7 @@
 #include "core/subproblem.h"
 #include "util/check.h"
 #include "util/mathx.h"
+#include "util/metrics.h"
 
 namespace femtocr::core {
 
@@ -24,8 +25,17 @@ double waterfill_resource(const SlotContext& ctx,
     FEMTOCR_DCHECK_FINITE(rates[k], "effective rate must be finite");
   }
 #endif
+  // The water level IS the per-resource Lagrange dual variable of problem
+  // (12), so bisection steps on it count toward core.dual.iterations
+  // alongside solve_dual's subgradient passes (docs/OBSERVABILITY.md).
+  static util::Counter& c_level_solves =
+      util::metrics().counter("core.waterfill.level_solves");
+  static util::Counter& c_dual_iters =
+      util::metrics().counter("core.dual.iterations");
+
   rho_out.assign(users.size(), 0.0);
   if (users.empty()) return 0.0;
+  c_level_solves.add();
 
   auto shares_at = [&](double lambda) {
     double sum = 0.0;
@@ -56,7 +66,8 @@ double waterfill_resource(const SlotContext& ctx,
     return 0.0;
   }
   double lo = kLo;
-  for (int iter = 0; iter < 100; ++iter) {
+  constexpr int kBisectionSteps = 100;
+  for (int iter = 0; iter < kBisectionSteps; ++iter) {
     const double mid = 0.5 * (lo + hi);
     if (shares_at(mid) > 1.0) {
       lo = mid;
@@ -64,6 +75,7 @@ double waterfill_resource(const SlotContext& ctx,
       hi = mid;
     }
   }
+  c_dual_iters.add(kBisectionSteps);  // one shard add for the whole loop
   const double sum = shares_at(hi);  // final shares, feasible bracket side
   // KKT exit contracts: a finite positive water level and a primal point
   // inside the slot budget (the bisection maintained shares_at(hi) <= 1).
@@ -81,6 +93,10 @@ SlotAllocation evaluate_assignment(const SlotContext& ctx,
                                    const std::vector<double>& gt_per_fbs,
                                    const std::vector<bool>& use_mbs,
                                    std::vector<double>* lambda_out) {
+  static util::Counter& c_evals =
+      util::metrics().counter("core.waterfill.evaluations");
+  c_evals.add();
+
   SlotAllocation alloc = SlotAllocation::zeros(ctx);
   alloc.use_mbs = use_mbs;
   alloc.expected_channels = gt_per_fbs;
@@ -147,6 +163,13 @@ SlotAllocation waterfill_evaluate(const SlotContext& ctx,
 
 SlotAllocation waterfill_solve(const SlotContext& ctx,
                                const std::vector<double>& gt_per_fbs) {
+  static util::Counter& c_solves =
+      util::metrics().counter("core.waterfill.solves");
+  static util::TimerStat& t_solve =
+      util::metrics().timer("core.waterfill.solve");
+  const util::ScopedTimer timer(t_solve);
+  c_solves.add();
+
   ctx.validate();
   FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
                 "need one expected channel count per FBS");

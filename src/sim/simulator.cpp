@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 #include "video/mgs_model.h"
 
@@ -128,6 +129,17 @@ core::SlotContext Simulator::make_context(
 }
 
 RunResult Simulator::run() {
+  static util::TimerStat& t_run = util::metrics().timer("sim.run");
+  static util::TimerStat& t_spectrum =
+      util::metrics().timer("sim.slot.spectrum");
+  static util::TimerStat& t_allocate =
+      util::metrics().timer("sim.slot.allocate");
+  static util::TimerStat& t_deliver = util::metrics().timer("sim.slot.deliver");
+  static util::Counter& c_slots = util::metrics().counter("sim.slots");
+  static util::Histogram& h_gap =
+      util::metrics().histogram("sim.slot.bound_gap");
+  const util::ScopedTimer run_timer(t_run);
+
   util::Rng spectrum_rng = rng_.split(0xA1);
   util::Rng fading_rng = rng_.split(0xB2);
   spectrum::SpectrumManager spectrum(scenario_.spectrum, spectrum_rng);
@@ -165,18 +177,28 @@ RunResult Simulator::run() {
       if (packet_mode) packet_streams_[j].begin_slot(t);
     }
 
-    const spectrum::SlotObservation obs = spectrum.observe_slot(t, spectrum_rng);
+    c_slots.add();
+    spectrum::SlotObservation obs;
+    {
+      const util::ScopedTimer st(t_spectrum);
+      obs = spectrum.observe_slot(t, spectrum_rng);
+    }
     accessed += obs.available.size();
     collided += obs.collisions();
     sum_available += static_cast<double>(obs.available.size());
     sum_gt += obs.expected_available;
 
     core::SlotContext ctx = make_context(obs, fading_rng);
-    const core::SlotAllocation alloc = scheme_->allocate(ctx);
+    core::SlotAllocation alloc;
+    {
+      const util::ScopedTimer st(t_allocate);
+      alloc = scheme_->allocate(ctx);
+    }
 #if FEMTOCR_DCHECK_IS_ON()
     dcheck_slot_allocation(ctx, alloc);
 #endif
     result.total_dual_iterations += alloc.dual_iterations;
+    h_gap.observe(std::max(0.0, alloc.upper_bound - alloc.objective));
 
     SlotTraceEntry trace_entry;
     if (trace_ != nullptr) {
@@ -204,6 +226,7 @@ RunResult Simulator::run() {
     gop_bump_sum += (alloc.upper_bound - alloc.objective) /
                     static_cast<double>(sessions_.size());
 
+    const util::ScopedTimer deliver_timer(t_deliver);
     for (std::size_t j = 0; j < sessions_.size(); ++j) {
       const core::UserState& u = ctx.users[j];
       double increment = 0.0;

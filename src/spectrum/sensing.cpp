@@ -1,6 +1,7 @@
 #include "spectrum/sensing.h"
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace femtocr::spectrum {
 
@@ -31,10 +32,27 @@ void SensorModel::validate() const {
 }
 
 int SensorModel::sense(bool busy, util::Rng& rng) const {
+  // Counted against the ground truth the simulator knows but a deployed
+  // sensor would not — these are oracle statistics for analysis only.
+  static util::Counter& c_reports =
+      util::metrics().counter("spectrum.sensing.reports");
+  static util::Counter& c_false_alarms =
+      util::metrics().counter("spectrum.sensing.false_alarms");
+  static util::Counter& c_missed =
+      util::metrics().counter("spectrum.sensing.missed_detections");
+  c_reports.add();
   if (busy) {
-    return rng.bernoulli(miss_detection) ? 0 : 1;
+    if (rng.bernoulli(miss_detection)) {
+      c_missed.add();
+      return 0;
+    }
+    return 1;
   }
-  return rng.bernoulli(false_alarm) ? 1 : 0;
+  if (rng.bernoulli(false_alarm)) {
+    c_false_alarms.add();
+    return 1;
+  }
+  return 0;
 }
 
 double posterior_idle_single(double eta, const SensingReport& report) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace femtocr::spectrum {
 
@@ -93,6 +94,9 @@ std::size_t SpectrumManager::reports_for_channel(std::size_t m,
 
 SlotObservation SpectrumManager::observe_slot(std::size_t slot_index,
                                               util::Rng& rng) {
+  static util::TimerStat& t_observe =
+      util::metrics().timer("spectrum.observe_slot");
+  const util::ScopedTimer timer(t_observe);
   primary_.step(rng);
 
   const std::size_t M = config_.num_licensed;
@@ -132,6 +136,23 @@ SlotObservation SpectrumManager::observe_slot(std::size_t slot_index,
   obs.access = decide_access(obs.posteriors, config_.gamma, rng);
   obs.available = obs.access.available();
   obs.expected_available = obs.access.expected_available();
+
+  // Access outcomes vs ground truth: channels we used (accessed), the
+  // busy ones among them (collisions with the primary), and truly idle
+  // channels we left on the table (idle-slot waste).
+  static util::Counter& c_accessed =
+      util::metrics().counter("spectrum.access.accessed");
+  static util::Counter& c_collisions =
+      util::metrics().counter("spectrum.access.collisions");
+  static util::Counter& c_idle_missed =
+      util::metrics().counter("spectrum.access.idle_missed");
+  std::size_t truly_idle_total = 0;
+  for (std::size_t m = 0; m < M; ++m) {
+    if (obs.true_states[m] == ChannelState::kIdle) ++truly_idle_total;
+  }
+  c_accessed.add(obs.available.size());
+  c_collisions.add(obs.collisions());
+  c_idle_missed.add(truly_idle_total - obs.truly_idle_available());
   return obs;
 }
 

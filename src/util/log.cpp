@@ -1,13 +1,46 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <string_view>
 
 namespace femtocr::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Sentinel for "not yet resolved from the environment". Same precedence
+/// style as FEMTOCR_THREADS: an explicit set_log_level() wins, else the
+/// FEMTOCR_LOG env var (parsed once, on first use), else kWarn.
+constexpr int kLevelUnset = -1;
+
+std::atomic<int> g_level{kLevelUnset};
+
+LogLevel parse_level_env() {
+  LogLevel level = LogLevel::kWarn;
+  if (const char* env = std::getenv("FEMTOCR_LOG")) {
+    const std::string_view v(env);
+    if (v == "trace") level = LogLevel::kTrace;
+    else if (v == "debug") level = LogLevel::kDebug;
+    else if (v == "info") level = LogLevel::kInfo;
+    else if (v == "warn") level = LogLevel::kWarn;
+    else if (v == "error") level = LogLevel::kError;
+    else if (v == "off") level = LogLevel::kOff;
+    // Unrecognised values keep the kWarn default rather than erroring:
+    // the logger must never abort the process it is observing.
+  }
+  return level;
+}
+
+LogLevel resolve_level() {
+  const int raw = g_level.load();
+  if (raw != kLevelUnset) return static_cast<LogLevel>(raw);
+  int expected = kLevelUnset;
+  g_level.compare_exchange_strong(expected,
+                                  static_cast<int>(parse_level_env()));
+  return static_cast<LogLevel>(g_level.load());
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,11 +55,13 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level));
+}
+LogLevel log_level() { return resolve_level(); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  const LogLevel threshold = g_level.load();
+  const LogLevel threshold = resolve_level();
   if (level < threshold || threshold == LogLevel::kOff) return;
   // Serialize the sink: replication workers may log concurrently and a
   // torn line would make failures undiagnosable.

@@ -1,0 +1,14 @@
+#include "util/timer.h"
+
+#include <chrono>
+
+namespace femtocr::util {
+
+std::int64_t monotonic_now_ns() {
+  // The one sanctioned raw-clock read in the tree (no-raw-chrono-clock).
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace femtocr::util

@@ -1,0 +1,39 @@
+// Monotonic wall-clock access for the whole tree.
+//
+// This header and timer.cpp are the ONLY places in the repository allowed
+// to touch the raw std::chrono clocks (enforced by the no-raw-chrono-clock
+// lint rule). Everything that needs wall time — the bench harness, the
+// metrics layer's scoped timers — goes through monotonic_now_ns() or a
+// Stopwatch, so "how the tree measures time" has exactly one definition.
+//
+// Wall-clock readings are inherently nondeterministic; nothing printed to
+// stdout may ever depend on them (the determinism contract of
+// util/parallel.h). Timings flow to stderr or to --metrics-out JSON only.
+#pragma once
+
+#include <cstdint>
+
+namespace femtocr::util {
+
+/// Monotonic timestamp in nanoseconds (steady_clock under the hood). The
+/// epoch is unspecified; only differences are meaningful.
+std::int64_t monotonic_now_ns();
+
+/// Restartable wall-clock stopwatch over monotonic_now_ns().
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(monotonic_now_ns()) {}
+
+  /// Re-arms the stopwatch at the current instant.
+  void restart() { start_ns_ = monotonic_now_ns(); }
+
+  std::int64_t elapsed_ns() const { return monotonic_now_ns() - start_ns_; }
+  double elapsed_seconds() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+}  // namespace femtocr::util

@@ -13,6 +13,7 @@
 #include "sim/scenario.h"
 #include "sim/simulator.h"
 #include "sim/sweeps.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 
 namespace {
@@ -146,6 +147,55 @@ TEST(Determinism, RunResultsOrderedByRunIndex) {
     const sim::RunResult solo = simulation.run();
     EXPECT_EQ(results[r].mean_psnr, solo.mean_psnr) << "run " << r;
     EXPECT_EQ(results[r].collision_rate, solo.collision_rate) << "run " << r;
+  }
+}
+
+TEST(Determinism, MetricsCollectionDoesNotPerturbResults) {
+  // The observability contract: flipping the metrics kill switch must not
+  // change a single bit of any simulation result. Metric ops draw no
+  // randomness and never feed back into the solvers.
+  ThreadDefaultGuard guard;
+  const bool prev_enabled = util::metrics_enabled();
+  const sim::Scenario scenario = small_scenario();
+  constexpr std::size_t kRuns = 4;
+  util::set_default_threads(2);
+
+  util::set_metrics_enabled(true);
+  const auto with_metrics = sim::run_all_schemes(scenario, kRuns);
+  util::set_metrics_enabled(false);
+  const auto without_metrics = sim::run_all_schemes(scenario, kRuns);
+  util::set_metrics_enabled(prev_enabled);
+
+  ASSERT_EQ(with_metrics.size(), without_metrics.size());
+  for (std::size_t k = 0; k < with_metrics.size(); ++k) {
+    expect_summary_identical(with_metrics[k], without_metrics[k]);
+  }
+}
+
+TEST(Determinism, MetricCountersInvariantAcrossThreadCounts) {
+  // Integer counter totals are part of the determinism story: the same
+  // work folded from any number of shards must give the same counts.
+  ThreadDefaultGuard guard;
+  const bool prev_enabled = util::metrics_enabled();
+  util::set_metrics_enabled(true);
+  const sim::Scenario scenario = small_scenario();
+  constexpr std::size_t kRuns = 4;
+  util::Counter& iters = util::metrics().counter("core.dual.iterations");
+  util::Counter& slots = util::metrics().counter("sim.slots");
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> totals;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    util::set_default_threads(threads);
+    util::metrics().reset();
+    (void)sim::run_all_schemes(scenario, kRuns);
+    totals.emplace_back(iters.total(), slots.total());
+  }
+  util::set_metrics_enabled(prev_enabled);
+  EXPECT_GT(totals[0].first, 0u);
+  EXPECT_GT(totals[0].second, 0u);
+  for (std::size_t r = 1; r < totals.size(); ++r) {
+    EXPECT_EQ(totals[r], totals[0]) << "thread run " << r;
   }
 }
 

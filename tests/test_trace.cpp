@@ -74,6 +74,9 @@ TEST(Trace, CsvShape) {
   }
   EXPECT_EQ(lines, 1 + trace.size() * s.users.size());  // header + rows
   EXPECT_NE(oss.str().find("slot,gop,available"), std::string::npos);
+  // The Eq. (23) bound-gap column sits between upper_bound and user so
+  // scripts/plot_figures.py can plot it without recomputation.
+  EXPECT_NE(oss.str().find("upper_bound,bound_gap,user"), std::string::npos);
   EXPECT_NE(oss.str().find("mbs"), std::string::npos);
 }
 

@@ -17,6 +17,7 @@
 #include "sim/config_io.h"
 #include "sim/sweeps.h"
 #include "util/args.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -47,6 +48,10 @@ Execution:
   --per-user                      also print the per-user quality table
   --sweep=eta|channels|b0|eps     sweep one knob over [--from, --to] in
   --from=X --to=X --step=X        steps of --step (runs all schemes)
+  --metrics-out=FILE              dump the metrics registry (counters,
+                                  histograms, timers) as JSON on exit;
+                                  schema in docs/OBSERVABILITY.md. Disable
+                                  collection with FEMTOCR_METRICS=0.
 )";
 
 core::SchemeKind parse_scheme(const std::string& name) {
@@ -242,6 +247,14 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get("runs", std::int64_t{10}));
     const int rc = args.has("sweep") ? run_sweep(scenario, args, runs)
                                      : run_single(scenario, args, runs);
+
+    const std::string metrics_path = args.get("metrics-out", std::string());
+    if (!metrics_path.empty()) {
+      auto manifest = util::make_metrics_manifest(argc, argv);
+      manifest.seed = scenario.seed;
+      manifest.scheme = args.get("scheme", std::string("all"));
+      util::write_metrics_file(metrics_path, manifest);
+    }
 
     const auto unknown = args.unconsumed();
     if (!unknown.empty()) {

@@ -19,6 +19,12 @@ Scans the library sources (``src/``) and enforces:
                 file-level suppression).
   no-float-eq   no == / != against floating-point literals — use
                 util::near() from util/mathx.h or an explicit tolerance.
+  no-raw-chrono-clock
+                no raw std::chrono clock reads (steady_clock::now(),
+                system_clock::now(), high_resolution_clock) outside
+                src/util/timer.* — wall time flows through
+                util::monotonic_now_ns() / util::Stopwatch so nothing
+                nondeterministic can leak onto stdout unnoticed.
   pragma-once   every header uses `#pragma once` (and not an
                 #ifndef/#define include guard), consistently with the rest
                 of the tree.
@@ -63,6 +69,7 @@ RULES = (
     "no-raw-thread",
     "no-stdio",
     "no-float-eq",
+    "no-raw-chrono-clock",
     "pragma-once",
 )
 
@@ -86,6 +93,12 @@ STDIO_RE = re.compile(
 FLOAT_LIT = r"(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)"
 FLOAT_EQ_RE = re.compile(
     rf"[=!]=\s*{FLOAT_LIT}(?![\w.])|(?<![\w.]){FLOAT_LIT}\s*[=!]="
+)
+# Raw clock reads: any ::now() on the std::chrono clocks, and any mention
+# of high_resolution_clock (whose use the tree bans outright). Qualified or
+# not — `using namespace std::chrono` would otherwise evade the rule.
+CHRONO_CLOCK_RE = re.compile(
+    r"(?:steady_clock|system_clock)\s*::\s*now\s*\(|high_resolution_clock"
 )
 GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+_H_?\b")
 ALLOW_LINE_RE = re.compile(r"//\s*lint-allow:\s*([\w,\- ]+)")
@@ -139,6 +152,11 @@ def lint_file(path: Path, layer: str | None) -> list[Violation]:
     thread_exempt = path.parent.name == "util" and path.name in (
         "parallel.h",
         "parallel.cpp",
+    )
+    # util/timer.* is the one sanctioned raw-clock site.
+    clock_exempt = path.parent.name == "util" and path.name in (
+        "timer.h",
+        "timer.cpp",
     )
 
     def report(lineno: int, rule: str, msg: str, raw: str) -> None:
@@ -197,6 +215,16 @@ def lint_file(path: Path, layer: str | None) -> list[Violation]:
                 "no-float-eq",
                 "floating-point == / != against a literal — use "
                 "util::near() or an explicit tolerance",
+                raw,
+            )
+
+        if CHRONO_CLOCK_RE.search(code) and not clock_exempt:
+            report(
+                i,
+                "no-raw-chrono-clock",
+                "raw std::chrono clock read in library code — use "
+                "util::monotonic_now_ns() / util::Stopwatch from "
+                "util/timer.h (the tree's single definition of wall time)",
                 raw,
             )
 
@@ -259,6 +287,9 @@ def self_test(fixture_src: Path) -> int:
             ("core/bad_float.cpp", "no-float-eq"): 1,
             ("core/bad_thread.cpp", "no-raw-thread"): 4,
             ("video/bad_guard.h", "pragma-once"): 2,
+            # util/timer.cpp (the sanctioned raw-clock site) is seeded with
+            # a steady_clock::now() and must stay at zero via the exemption.
+            ("sim/bad_clock.cpp", "no-raw-chrono-clock"): 3,
         }
     )
     ok = True

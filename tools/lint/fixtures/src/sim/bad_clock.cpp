@@ -1,0 +1,27 @@
+// Seeded fixture: raw std::chrono clock reads that no-raw-chrono-clock
+// must flag. The self-test pins exactly 3 violations in this file — the
+// two ::now() calls (qualified and via namespace alias) and the
+// high_resolution_clock mention. The suppressed line must NOT be reported.
+#include <chrono>
+
+namespace femtocr::sim {
+
+long fixture_raw_steady_read() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long fixture_namespace_alias_read() {
+  namespace sc = std::chrono;
+  return sc::system_clock::now().time_since_epoch().count();
+}
+
+using bad_clock = std::chrono::high_resolution_clock;
+
+long fixture_allowed_read() {
+  return std::chrono::steady_clock::now()  // lint-allow: no-raw-chrono-clock
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace femtocr::sim

@@ -1,0 +1,13 @@
+// Seeded fixture: a raw clock read inside util/timer.cpp — the one
+// sanctioned site. The self-test asserts no-raw-chrono-clock does NOT
+// fire here (exemption path), mirroring the no-raw-thread exemption for
+// util/parallel.*.
+#include <chrono>
+
+namespace femtocr::util {
+
+long fixture_sanctioned_clock_read() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace femtocr::util

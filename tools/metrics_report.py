@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""metrics_report — validate and diff --metrics-out JSON dumps.
+
+The femtocr binaries dump their metrics registry as one JSON document
+(schema: docs/OBSERVABILITY.md):
+
+    {"manifest":   {seed, threads, scheme, build_type, metrics_enabled, cli},
+     "counters":   {"layer.component.metric": int, ...},
+     "histograms": {"name": {count, sum, min, max,
+                             buckets: [{lo, hi, count}, ...]}, ...},
+     "timers_ns":  {"name": {count, total_ns, max_ns}, ...}}
+
+Modes:
+  metrics_report.py --check FILE
+      Validate FILE against the schema. Exit 0 when valid, 1 otherwise
+      (problems printed one per line). CI's bench-smoke job gates on this.
+  metrics_report.py --top-timers FILE [--limit N]
+      Render the top-N timers by total time as an ASCII table
+      (+---+ box style, matching util/table's print()).
+  metrics_report.py BASELINE CANDIDATE
+      Diff two dumps: counters and timers side by side with absolute and
+      relative deltas, again as an ASCII table. Counters present in only
+      one file show a `-` on the missing side.
+
+Exit status: 0 on success/valid, 1 on invalid input, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+MANIFEST_KEYS = ("seed", "threads", "scheme", "build_type", "cli")
+
+
+def load(path: Path) -> dict:
+    with path.open(encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_schema(doc) -> list[str]:
+    """Returns a list of problems; empty means the document is valid."""
+    problems: list[str] = []
+
+    def expect(cond: bool, msg: str) -> bool:
+        if not cond:
+            problems.append(msg)
+        return cond
+
+    if not expect(isinstance(doc, dict), "top level is not a JSON object"):
+        return problems
+    for section in ("manifest", "counters", "histograms", "timers_ns"):
+        expect(isinstance(doc.get(section), dict),
+               f"missing or non-object section: {section}")
+    if problems:
+        return problems
+
+    manifest = doc["manifest"]
+    for key in MANIFEST_KEYS:
+        expect(key in manifest, f"manifest missing key: {key}")
+    if "seed" in manifest:
+        expect(isinstance(manifest["seed"], int) and manifest["seed"] >= 0,
+               "manifest.seed is not a nonnegative integer")
+    if "threads" in manifest:
+        expect(isinstance(manifest["threads"], int) and manifest["threads"] >= 0,
+               "manifest.threads is not a nonnegative integer")
+    for key in ("scheme", "build_type", "cli"):
+        if key in manifest:
+            expect(isinstance(manifest[key], str),
+                   f"manifest.{key} is not a string")
+
+    for name, value in doc["counters"].items():
+        expect(isinstance(value, int) and value >= 0,
+               f"counter {name}: value is not a nonnegative integer")
+
+    for name, h in doc["histograms"].items():
+        if not expect(isinstance(h, dict), f"histogram {name}: not an object"):
+            continue
+        for key in ("count", "sum", "min", "max", "buckets"):
+            expect(key in h, f"histogram {name}: missing key {key}")
+        if isinstance(h.get("count"), int):
+            bucket_total = 0
+            for i, b in enumerate(h.get("buckets") or []):
+                if not expect(isinstance(b, dict),
+                              f"histogram {name}: bucket {i} not an object"):
+                    continue
+                for key in ("lo", "hi", "count"):
+                    expect(key in b,
+                           f"histogram {name}: bucket {i} missing {key}")
+                if isinstance(b.get("count"), int):
+                    expect(b["count"] > 0,
+                           f"histogram {name}: bucket {i} has zero count "
+                           "(only nonzero buckets are exported)")
+                    bucket_total += b["count"]
+            expect(bucket_total == h["count"],
+                   f"histogram {name}: bucket counts sum to {bucket_total}, "
+                   f"expected count={h['count']}")
+
+    for name, t in doc["timers_ns"].items():
+        if not expect(isinstance(t, dict), f"timer {name}: not an object"):
+            continue
+        for key in ("count", "total_ns", "max_ns"):
+            expect(isinstance(t.get(key), int) and t.get(key, -1) >= 0,
+                   f"timer {name}: {key} is not a nonnegative integer")
+        if all(isinstance(t.get(k), int) for k in ("count", "total_ns",
+                                                   "max_ns")):
+            expect(t["max_ns"] <= t["total_ns"] or t["count"] <= 1,
+                   f"timer {name}: max_ns exceeds total_ns")
+
+    return problems
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """util/table's print() box style: +---+ rules, left-aligned cells."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+    rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    def line(cells: list[str]) -> str:
+        return "|" + "|".join(
+            f" {cell:<{w}} " for cell, w in zip(cells, widths)) + "|"
+    out = [rule, line(headers), rule]
+    out += [line(row) for row in rows]
+    out.append(rule)
+    return "\n".join(out)
+
+
+def fmt_ns(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.3f} us"
+    return f"{ns} ns"
+
+
+def top_timers(doc: dict, limit: int) -> str:
+    timers = sorted(doc["timers_ns"].items(),
+                    key=lambda kv: kv[1]["total_ns"], reverse=True)
+    rows = []
+    for name, t in timers[:limit]:
+        mean = t["total_ns"] / t["count"] if t["count"] else 0
+        rows.append([name, str(t["count"]), fmt_ns(t["total_ns"]),
+                     fmt_ns(int(mean)), fmt_ns(t["max_ns"])])
+    return render_table(["Timer", "Count", "Total", "Mean", "Max"], rows)
+
+
+def fmt_delta(base: int | None, cand: int | None) -> str:
+    if base is None or cand is None:
+        return "-"
+    delta = cand - base
+    if base == 0:
+        return f"{delta:+d}"
+    return f"{delta:+d} ({100.0 * delta / base:+.1f}%)"
+
+
+def diff(base: dict, cand: dict) -> str:
+    out = []
+
+    names = sorted(set(base["counters"]) | set(cand["counters"]))
+    rows = []
+    for name in names:
+        b = base["counters"].get(name)
+        c = cand["counters"].get(name)
+        rows.append([name,
+                     "-" if b is None else str(b),
+                     "-" if c is None else str(c),
+                     fmt_delta(b, c)])
+    if rows:
+        out.append("Counters")
+        out.append(render_table(["Counter", "Baseline", "Candidate", "Delta"],
+                                rows))
+
+    names = sorted(set(base["timers_ns"]) | set(cand["timers_ns"]))
+    rows = []
+    for name in names:
+        b = base["timers_ns"].get(name)
+        c = cand["timers_ns"].get(name)
+        rows.append([name,
+                     "-" if b is None else fmt_ns(b["total_ns"]),
+                     "-" if c is None else fmt_ns(c["total_ns"]),
+                     fmt_delta(None if b is None else b["total_ns"],
+                               None if c is None else c["total_ns"])])
+    if rows:
+        out.append("")
+        out.append("Timers (total)")
+        out.append(render_table(["Timer", "Baseline", "Candidate", "Delta"],
+                                rows))
+
+    return "\n".join(out)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="one file for --check/--top-timers, two to diff")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the schema and exit 0/1")
+    parser.add_argument("--top-timers", action="store_true",
+                        help="print the top timers by total time")
+    parser.add_argument("--limit", type=int, default=10,
+                        help="row cap for --top-timers (default 10)")
+    args = parser.parse_args(argv)
+
+    try:
+        docs = [load(p) for p in args.files]
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"metrics_report: {e}", file=sys.stderr)
+        return 1
+
+    if args.check:
+        if len(docs) != 1:
+            parser.error("--check takes exactly one file")
+        problems = check_schema(docs[0])
+        for p in problems:
+            print(f"{args.files[0]}: {p}")
+        if problems:
+            print(f"metrics_report: INVALID ({len(problems)} problem(s))")
+            return 1
+        print(f"metrics_report: valid ({args.files[0]})")
+        return 0
+
+    if args.top_timers:
+        if len(docs) != 1:
+            parser.error("--top-timers takes exactly one file")
+        bad = check_schema(docs[0])
+        if bad:
+            print(f"metrics_report: invalid input: {bad[0]}", file=sys.stderr)
+            return 1
+        print(top_timers(docs[0], args.limit))
+        return 0
+
+    if len(docs) != 2:
+        parser.error("diff mode takes exactly two files "
+                     "(or use --check / --top-timers)")
+    for path, doc in zip(args.files, docs):
+        bad = check_schema(doc)
+        if bad:
+            print(f"metrics_report: {path} invalid: {bad[0]}", file=sys.stderr)
+            return 1
+    print(diff(docs[0], docs[1]))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:  # e.g. `metrics_report.py a b | head`
+        sys.exit(0)
