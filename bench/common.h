@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
 
@@ -29,11 +30,20 @@ namespace femtocr::benchutil {
 
 class Harness {
  public:
-  Harness(int argc, char** argv, std::size_t default_runs = 10) {
+  /// `extra_flags` lets a bench consume flags beyond the shared trio (call
+  /// args.get(...) for each inside the callback — anything still
+  /// unconsumed afterwards is rejected); `extra_help` is appended to the
+  /// supported-flags line of the rejection message.
+  Harness(int argc, char** argv, std::size_t default_runs = 10,
+          const std::function<void(const util::Args&)>& extra_flags = nullptr,
+          const std::string& extra_help = "") {
     name_ = argc > 0 ? argv[0] : "bench";
     const std::string::size_type slash = name_.find_last_of('/');
     if (slash != std::string::npos) name_ = name_.substr(slash + 1);
     manifest_ = util::make_metrics_manifest(argc, argv);
+    const std::string supported =
+        " (supported: --runs=N --threads=N --metrics-out=FILE" + extra_help +
+        ")\n";
     try {
       const util::Args args(argc, argv);
       runs_ = static_cast<std::size_t>(
@@ -43,16 +53,16 @@ class Harness {
       util::set_default_threads(threads);
       manifest_.threads = util::default_threads();
       metrics_path_ = args.get("metrics-out", std::string());
+      if (extra_flags) extra_flags(args);
       const auto unknown = args.unconsumed();
       if (!unknown.empty()) {
         std::cerr << name_ << ": unknown flag(s):";
         for (const auto& k : unknown) std::cerr << " --" << k;
-        std::cerr << " (supported: --runs=N --threads=N --metrics-out=FILE)\n";
+        std::cerr << supported;
         std::exit(2);
       }
     } catch (const std::exception& e) {
-      std::cerr << name_ << ": " << e.what()
-                << " (supported: --runs=N --threads=N --metrics-out=FILE)\n";
+      std::cerr << name_ << ": " << e.what() << supported;
       std::exit(2);
     }
   }

@@ -108,6 +108,43 @@ void BM_GreedyAllocate(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyAllocate)->Arg(2)->Arg(4)->Arg(8);
 
+// Stress-grid variants at bench/stress_scale.cpp dimensions. These stick
+// to the cache-free public API on purpose: the same translation unit must
+// compile against older library revisions so pre/post perf comparisons
+// measure the library, not the bench.
+void BM_DualSolverStress(benchmark::State& state) {
+  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)), 16, 16,
+                           false);
+  const std::vector<double> gt(16, f.ctx.total_expected_channels());
+  core::DualOptions opts;
+  opts.max_iterations = 20000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_dual(f.ctx, gt, opts));
+  }
+}
+BENCHMARK(BM_DualSolverStress)->Arg(192)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WaterfillSolveStress(benchmark::State& state) {
+  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)), 8, 16,
+                           false);
+  const std::vector<double> gt(8, f.ctx.total_expected_channels());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::waterfill_solve(f.ctx, gt));
+  }
+}
+BENCHMARK(BM_WaterfillSolveStress)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyAllocateStress(benchmark::State& state) {
+  Fixture f = make_fixture(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(0)), 3, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::greedy_allocate(f.ctx));
+  }
+}
+BENCHMARK(BM_GreedyAllocateStress)->Arg(12)->Arg(25)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 // Hand-rolled main instead of BENCHMARK_MAIN(): --metrics-out=FILE must be

@@ -1,0 +1,165 @@
+// Scale-out stress workload for the per-slot solve path.
+//
+// Sweeps users x FBSs x channels well past the paper's figure scenarios —
+// up to 500 users / 50 FBSs / 64 licensed channels on the non-interfering
+// dual-decomposition path, and ring-interference cells up to 50 FBSs on
+// the greedy + water-filling path (the greedy's candidate argmax is the
+// intra-slot parallel section, so the interfering cells are the ones that
+// scale with --threads). Not a figure: this bench exists to (a) pin the
+// determinism contract at scale — stdout carries only solver outputs, so
+// it must be byte-identical for any --threads and with FEMTOCR_METRICS=0 —
+// and (b) feed the perf regression gate: the per-solve wall clock
+// accumulates under the bench.stress.slot_solve timer in --metrics-out
+// JSON, which CI compares against the committed BENCH_baseline.json with
+// tools/metrics_report.py --gate (see docs/OBSERVABILITY.md).
+//
+//   --grid=smoke   CI-sized subset (default)
+//   --grid=full    the whole sweep, 500-user / 50-FBS cells included
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.h"
+#include "core/dual_solver.h"
+#include "core/greedy.h"
+#include "core/slot_cache.h"
+#include "core/types.h"
+#include "net/interference_graph.h"
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace femtocr;
+
+struct Cell {
+  const char* kind;  // "dual" (non-interfering) or "greedy" (ring graph)
+  std::size_t users;
+  std::size_t fbs;
+  std::size_t channels;
+};
+
+struct Fixture {
+  std::unique_ptr<net::InterferenceGraph> graph;
+  core::SlotContext ctx;
+};
+
+/// Deterministic instance for one (cell, replication): the seed folds in
+/// the cell dimensions so every cell sweeps distinct but reproducible
+/// channel posteriors and link states.
+Fixture make_fixture(const Cell& cell, bool ring, std::uint64_t rep) {
+  util::Rng rng(7u + 1000003u * rep + 31u * cell.users + 17u * cell.fbs +
+                13u * cell.channels);
+  Fixture f;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  if (ring && cell.fbs > 1) {
+    for (std::size_t i = 0; i + 1 < cell.fbs; ++i) edges.emplace_back(i, i + 1);
+    if (cell.fbs > 2) edges.emplace_back(cell.fbs - 1, std::size_t{0});
+  }
+  f.graph = std::make_unique<net::InterferenceGraph>(
+      net::InterferenceGraph::from_edges(cell.fbs, edges));
+  f.ctx.num_fbs = cell.fbs;
+  f.ctx.graph = f.graph.get();
+  for (std::size_t m = 0; m < cell.channels; ++m) {
+    f.ctx.available.push_back(m);
+    f.ctx.posterior.push_back(rng.uniform(0.4, 1.0));
+  }
+  for (std::size_t j = 0; j < cell.users; ++j) {
+    core::UserState u;
+    u.psnr = rng.uniform(28.0, 42.0);
+    u.success_mbs = rng.uniform(0.55, 0.98);
+    u.success_fbs = rng.uniform(0.55, 0.98);
+    u.rate_mbs = rng.uniform(0.45, 0.7);
+    u.rate_fbs = rng.uniform(0.45, 0.7);
+    u.fbs = j % cell.fbs;
+    f.ctx.users.push_back(u);
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid = "smoke";
+  benchutil::Harness harness(
+      argc, argv, /*default_runs=*/1,
+      [&grid](const util::Args& args) {
+        grid = args.get("grid", std::string("smoke"));
+      },
+      " --grid=smoke|full");
+  if (grid != "smoke" && grid != "full") {
+    std::cerr << "stress_scale: --grid must be smoke or full\n";
+    return 2;
+  }
+
+  std::vector<Cell> cells = {
+      {"dual", 60, 6, 8},
+      {"dual", 192, 16, 16},
+      {"greedy", 12, 12, 3},
+      {"dual", 300, 25, 32},
+      {"greedy", 25, 25, 3},
+  };
+  if (grid == "full") {
+    cells.push_back({"dual", 500, 50, 64});
+    cells.push_back({"greedy", 50, 50, 4});
+  }
+
+  // The regression-gate timer: wall clock of the solve calls only (fixture
+  // construction and printing excluded).
+  static util::TimerStat& t_solve =
+      util::metrics().timer("bench.stress.slot_solve");
+  static util::Counter& c_cells = util::metrics().counter("bench.stress.cells");
+  static util::Counter& c_solves =
+      util::metrics().counter("bench.stress.solves");
+
+  std::cout << "Stress-scale sweep of the per-slot solve path (grid=" << grid
+            << ", runs=" << harness.runs() << ")\n";
+  std::cout << "kind    users  fbs  chan  sum_objective        work\n";
+
+  std::size_t replications = 0;
+  for (const Cell& cell : cells) {
+    c_cells.add();
+    double sum_objective = 0.0;
+    std::size_t work = 0;  // dual iterations resp. greedy steps
+    for (std::size_t rep = 0; rep < harness.runs(); ++rep) {
+      ++replications;
+      if (std::string(cell.kind) == "dual") {
+        Fixture f = make_fixture(cell, /*ring=*/false, rep);
+        const std::vector<double> gt(cell.fbs,
+                                     f.ctx.total_expected_channels());
+        core::SlotCache cache;
+        cache.build(f.ctx);
+        core::DualOptions opts;
+        // Bound the subgradient so the 500-user cells stay bench-sized;
+        // the result is deterministic either way.
+        opts.max_iterations = 20000;
+        c_solves.add();
+        const util::ScopedTimer timer(t_solve);
+        const core::DualResult res = core::solve_dual(f.ctx, cache, gt, opts);
+        sum_objective += res.allocation.objective;
+        work += res.iterations;
+      } else {
+        Fixture f = make_fixture(cell, /*ring=*/true, rep);
+        core::SlotCache cache;
+        cache.build(f.ctx);
+        c_solves.add();
+        const util::ScopedTimer timer(t_solve);
+        const core::GreedyResult res = core::greedy_allocate(f.ctx, cache);
+        sum_objective += res.allocation.objective;
+        work += res.steps.size();
+      }
+    }
+    std::cout << std::left << std::setw(8) << cell.kind << std::right
+              << std::setw(5) << cell.users << std::setw(5) << cell.fbs
+              << std::setw(6) << cell.channels << "  " << std::setw(18)
+              << std::setprecision(12) << sum_objective << "  " << std::setw(6)
+              << work << "\n";
+  }
+
+  harness.report(replications);
+  return 0;
+}

@@ -1,36 +1,179 @@
+// femtocr:inner-loop-tu — the subgradient loop below runs up to 1e5
+// iterations per slot; no allocation or per-call contract checks inside it
+// (see docs/DEVELOPING.md, "Performance model & scratch-arena rules").
 #include "core/dual_solver.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "core/objective.h"
+#include "core/scratch.h"
+#include "core/slot_cache.h"
 #include "core/subproblem.h"
 #include "util/check.h"
 #include "util/mathx.h"
 #include "util/metrics.h"
+#include "util/parallel.h"
 
 namespace femtocr::core {
 
 namespace {
 
-/// One pass of user subproblems at the current prices; fills shares and
-/// returns the per-resource share sums (index 0 = MBS, i+1 = FBS i).
-std::vector<double> user_best_responses(const SlotContext& ctx,
-                                        const std::vector<double>& gt_per_fbs,
-                                        const std::vector<double>& lambda,
-                                        SlotAllocation& alloc) {
-  std::vector<double> sums(ctx.num_fbs + 1, 0.0);
-  for (std::size_t j = 0; j < ctx.users.size(); ++j) {
-    const UserState& u = ctx.users[j];
-    const UserChoice c =
-        solve_user(u, lambda[0], lambda[u.fbs + 1], gt_per_fbs[u.fbs]);
-    alloc.use_mbs[j] = c.use_mbs;
-    alloc.rho_mbs[j] = c.rho_mbs;
-    alloc.rho_fbs[j] = c.rho_fbs;
-    sums[0] += c.rho_mbs;
-    sums[u.fbs + 1] += c.rho_fbs;
+/// Below this user count the per-iteration pass stays a plain loop: the
+/// pool dispatch would cost more than the K subproblems it distributes.
+constexpr std::size_t kParallelUserCutoff = 192;
+/// Users per parallel chunk; chunks are contiguous index ranges so the
+/// fixed-order fold below is just the natural j loop.
+constexpr std::size_t kUserChunk = 128;
+
+/// One user's Table I steps 3-8 against the per-solve tables, writing the
+/// branch choice into the SoA output buffers. Bitwise identical to
+/// solve_user(): every cached operand is the exact value the inline
+/// expressions produced (see core/slot_cache.h), and each shortcut only
+/// fires where its substitution is exact:
+///
+///   * rho == 0: the log argument is W + 0*R == W and the price term is
+///     lambda * 0.0 == +0.0 (x - 0.0 == x), so value == val0 table.
+///   * rho == kRhoCap: the argument is W + 1*R == W + R and the price
+///     term is lambda * 1.0 == lambda, so value == cap table - lambda.
+///   * The division itself is screened by guarded multiplies: the branch
+///     clamps at 0 iff fl(S/lambda) <= pr (monotone rounding preserves
+///     the sign of a difference of doubles), which S < lambda * lo with
+///     lo = pr * (1 - 1e-12) implies with > 500 ulps to spare; likewise
+///     S > lambda * hi with hi = (pr + kRhoCap) * (1 + 1e-12) forces the
+///     cap. Borderline cases inside the guard band fall through to the
+///     exact division path, so every rho is the one solve_user computes.
+struct ShareAdd {
+  double mbs;  ///< the user's contribution to the MBS share sum
+  double fbs;  ///< the user's contribution to the home-FBS share sum
+};
+
+template <bool Store>
+inline ShareAdd solve_user_cached(const SlotCache& cache, DualScratch& ds,
+                                  std::size_t j, double lambda_mbs,
+                                  double lambda_fbs) {
+  double rho0 = 0.0;
+  double value_mbs = ds.val0_mbs[j];
+  if (cache.can_mbs[j]) {
+    if (lambda_mbs <= 0.0) [[unlikely]] {
+      rho0 = kRhoCap;
+      value_mbs = ds.cap_mbs[j] - lambda_mbs;
+    } else {
+      const double s = ds.s_mbs[j];
+      // At the slot budget's price level the MBS branch is clamped at 0
+      // for nearly every user (one licensed slot across all of them), so
+      // the zero screen is the fall-through path.
+      if (s < lambda_mbs * ds.lo_mbs[j]) [[likely]] {
+        // rho0 == 0; val0 table already loaded.
+      } else if (s > lambda_mbs * ds.hi_mbs[j]) {
+        rho0 = kRhoCap;
+        value_mbs = ds.cap_mbs[j] - lambda_mbs;
+      } else {
+        rho0 = util::clamp(s / lambda_mbs - cache.pr_mbs[j], 0.0, kRhoCap);
+        if (rho0 >= kRhoCap) {
+          value_mbs = ds.cap_mbs[j] - lambda_mbs;
+        } else if (rho0 > 0.0) {
+          value_mbs = s * std::log(ds.psnr[j] + rho0 * ds.rate_mbs[j]) +
+                      cache.loss_mbs[j] - lambda_mbs * rho0;
+        }
+      }
+    }
   }
-  return sums;
+  double rho1 = 0.0;
+  double value_fbs = ds.val0_fbs[j];
+  if (ds.can_fbs[j]) {
+    if (lambda_fbs <= 0.0) [[unlikely]] {
+      rho1 = kRhoCap;
+      value_fbs = ds.cap_fbs[j] - lambda_fbs;
+    } else {
+      const double s = ds.s_fbs[j];
+      if (s < lambda_fbs * ds.lo_fbs[j]) {
+        // rho1 == 0; val0 table already loaded.
+      } else if (s > lambda_fbs * ds.hi_fbs[j]) {
+        rho1 = kRhoCap;
+        value_fbs = ds.cap_fbs[j] - lambda_fbs;
+      } else {
+        rho1 = util::clamp(s / lambda_fbs - ds.pr_fbs[j], 0.0, kRhoCap);
+        if (rho1 >= kRhoCap) {
+          value_fbs = ds.cap_fbs[j] - lambda_fbs;
+        } else if (rho1 > 0.0) {
+          value_fbs =
+              s * std::log(ds.psnr[j] + rho1 * ds.eff_rate_fbs[j]) +
+              cache.loss_fbs[j] - lambda_fbs * rho1;
+        }
+      }
+    }
+  }
+
+  // Table I step 4: strict '>' sends the user to the MBS, ties to the FBS.
+  // The losing branch's share is zeroed, exactly as solve_user() leaves
+  // the corresponding UserChoice field default-initialized.
+  const bool use_mbs = value_mbs > value_fbs;
+  const double add_mbs = use_mbs ? rho0 : 0.0;
+  const double add_fbs = use_mbs ? 0.0 : rho1;
+  if constexpr (Store) {
+    ds.choice_use_mbs[j] = use_mbs ? 1 : 0;
+    ds.choice_rho_mbs[j] = add_mbs;
+    ds.choice_rho_fbs[j] = add_fbs;
+  }
+  return {add_mbs, add_fbs};
+}
+
+/// One pass of user subproblems at the current prices, accumulating the
+/// per-resource share sums in user index order — the same accumulation
+/// order as the original single loop, so sums are bit-identical for any
+/// thread count. Three shapes, one result:
+///
+///   * parallel (large K, pool has workers): chunked parallel_for writes
+///     the index-addressed choice buffers, then a serial fold adds them
+///     in j order;
+///   * serial + store_choices: one fused loop, adds interleaved in the
+///     same j order (each sums[i] accumulator sees the identical ordered
+///     add sequence, so fusing cannot change a bit);
+///   * serial iteration passes: the same fused loop minus the choice
+///     stores — the subgradient update only reads the sums, and the
+///     primal recovery pass at the end re-materializes the choices.
+void user_best_responses(const SlotContext& ctx, const SlotCache& cache,
+                         DualScratch& ds, const std::vector<double>& lambda,
+                         bool store_choices) {
+  const std::size_t K = ctx.users.size();
+  const double lambda_mbs = lambda[0];
+  std::fill(ds.sums.begin(), ds.sums.end(), 0.0);
+  // The pool pays a dispatch fee per call, and this runs once per
+  // subgradient iteration — only fan out when there are workers to feed
+  // AND enough users to amortize the fee. Values are identical either
+  // way: chunks are contiguous index ranges into the same buffer.
+  if (K >= kParallelUserCutoff && util::default_threads() > 1) {
+    const std::size_t chunks = (K + kUserChunk - 1) / kUserChunk;
+    util::parallel_for(chunks, [&](std::size_t c) {
+      const std::size_t hi = std::min(K, (c + 1) * kUserChunk);
+      for (std::size_t j = c * kUserChunk; j < hi; ++j) {
+        solve_user_cached<true>(cache, ds, j, lambda_mbs,
+                                lambda[ds.fbsi[j] + 1]);
+      }
+    });
+    for (std::size_t j = 0; j < K; ++j) {
+      ds.sums[0] += ds.choice_rho_mbs[j];
+      ds.sums[ds.fbsi[j] + 1] += ds.choice_rho_fbs[j];
+    }
+  } else if (store_choices) {
+    for (std::size_t j = 0; j < K; ++j) {
+      const ShareAdd a =
+          solve_user_cached<true>(cache, ds, j, lambda_mbs,
+                                  lambda[ds.fbsi[j] + 1]);
+      ds.sums[0] += a.mbs;
+      ds.sums[ds.fbsi[j] + 1] += a.fbs;
+    }
+  } else {
+    for (std::size_t j = 0; j < K; ++j) {
+      const ShareAdd a =
+          solve_user_cached<false>(cache, ds, j, lambda_mbs,
+                                   lambda[ds.fbsi[j] + 1]);
+      ds.sums[0] += a.mbs;
+      ds.sums[ds.fbsi[j] + 1] += a.fbs;
+    }
+  }
 }
 
 /// Projects the recovered primal point onto the slot budgets: if a resource
@@ -39,13 +182,13 @@ std::vector<double> user_best_responses(const SlotContext& ctx,
 /// granularity; scaling preserves the assignment and near-optimality.)
 void rescale_to_budgets(const SlotContext& ctx, SlotAllocation& alloc) {
   double sum_mbs = 0.0;
-  std::vector<double> sum_fbs(ctx.num_fbs, 0.0);
+  std::vector<double> sum_fbs(ctx.num_fbs, 0.0);  // lint-allow: no-hot-loop-alloc (once per solve)
   for (std::size_t j = 0; j < ctx.users.size(); ++j) {
     sum_mbs += alloc.rho_mbs[j];
     sum_fbs[ctx.users[j].fbs] += alloc.rho_fbs[j];
   }
   const double scale_mbs = sum_mbs > 1.0 ? 1.0 / sum_mbs : 1.0;
-  std::vector<double> scale_fbs(ctx.num_fbs, 1.0);
+  std::vector<double> scale_fbs(ctx.num_fbs, 1.0);  // lint-allow: no-hot-loop-alloc (once per solve)
   for (std::size_t i = 0; i < ctx.num_fbs; ++i) {
     if (sum_fbs[i] > 1.0) scale_fbs[i] = 1.0 / sum_fbs[i];
   }
@@ -57,7 +200,7 @@ void rescale_to_budgets(const SlotContext& ctx, SlotAllocation& alloc) {
 
 }  // namespace
 
-DualResult solve_dual(const SlotContext& ctx,
+DualResult solve_dual(const SlotContext& ctx, const SlotCache& cache,
                       const std::vector<double>& gt_per_fbs,
                       const DualOptions& options) {
   // core.dual.iterations counts dual-price iterations across both solvers
@@ -80,12 +223,17 @@ DualResult solve_dual(const SlotContext& ctx,
   static util::TimerStat& t_solve = util::metrics().timer("core.dual.solve");
   const util::ScopedTimer timer(t_solve);
 
-  ctx.validate();
+  // The cache's build() validated the context and the per-user contracts;
+  // only the per-call arguments are checked here.
+  FEMTOCR_CHECK(cache.num_users == ctx.users.size() &&
+                    cache.num_fbs == ctx.num_fbs,
+                "slot cache was built for a different context shape");
   FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
                 "need one expected channel count per FBS");
   FEMTOCR_CHECK(options.step_size > 0.0, "step size must be positive");
   FEMTOCR_CHECK(options.tolerance >= 0.0, "tolerance must be nonnegative");
 
+  const std::size_t K = ctx.users.size();
   const std::size_t num_prices = ctx.num_fbs + 1;
   c_solves.add();
   if (options.warm_start) {
@@ -93,31 +241,87 @@ DualResult solve_dual(const SlotContext& ctx,
   } else {
     c_warm_misses.add();
   }
-  std::vector<double> lambda(num_prices, options.initial_lambda);
+
+  DualScratch& ds = slot_scratch().dual;
+  ds.lambda.assign(num_prices, options.initial_lambda);
   if (options.warm_start) {
     FEMTOCR_CHECK(options.warm_start->size() == num_prices,
                   "warm start must provide one price per resource");
-    lambda = *options.warm_start;
+    ds.lambda = *options.warm_start;
+  }
+  ds.next.resize(num_prices);
+  ds.sums.resize(num_prices);
+  ds.choice_rho_mbs.resize(K);
+  ds.choice_rho_fbs.resize(K);
+  ds.choice_use_mbs.resize(K);
+
+  // Per-solve user tables: the expected channel count g is fixed for the
+  // whole solve, so the FBS-side effective rate, its price offset W/(R G)
+  // and the cap-valued logs are all loop invariants of the subgradient.
+  ds.eff_rate_fbs.resize(K);
+  ds.pr_fbs.resize(K);
+  ds.log_hi_mbs.resize(K);
+  ds.log_hi_fbs.resize(K);
+  ds.val0_mbs.resize(K);
+  ds.val0_fbs.resize(K);
+  ds.cap_mbs.resize(K);
+  ds.cap_fbs.resize(K);
+  ds.lo_mbs.resize(K);
+  ds.hi_mbs.resize(K);
+  ds.lo_fbs.resize(K);
+  ds.hi_fbs.resize(K);
+  ds.s_mbs.resize(K);
+  ds.s_fbs.resize(K);
+  ds.psnr.resize(K);
+  ds.rate_mbs.resize(K);
+  ds.fbsi.resize(K);
+  ds.can_fbs.resize(K);
+  for (std::size_t j = 0; j < K; ++j) {
+    const UserState& u = ctx.users[j];
+    ds.s_mbs[j] = u.success_mbs;
+    ds.s_fbs[j] = u.success_fbs;
+    ds.psnr[j] = u.psnr;
+    ds.rate_mbs[j] = u.rate_mbs;
+    ds.fbsi[j] = static_cast<std::uint32_t>(u.fbs);
+    const double eff = u.rate_fbs * gt_per_fbs[u.fbs];
+    ds.eff_rate_fbs[j] = eff;
+    const bool usable = eff > 0.0 && u.success_fbs > 0.0;
+    ds.can_fbs[j] = usable ? 1 : 0;
+    ds.pr_fbs[j] = usable ? u.psnr / eff : 0.0;
+    ds.log_hi_mbs[j] =
+        cache.can_mbs[j] ? std::log(u.psnr + u.rate_mbs) : 0.0;
+    ds.log_hi_fbs[j] = usable ? std::log(u.psnr + eff) : 0.0;
+    // Lagrangian values at the two clamp ends plus the division-screen
+    // thresholds (the comment on solve_user_cached justifies the
+    // bit-identity of every substitution).
+    ds.val0_mbs[j] = u.success_mbs * cache.log_psnr[j] + cache.loss_mbs[j];
+    ds.val0_fbs[j] = u.success_fbs * cache.log_psnr[j] + cache.loss_fbs[j];
+    ds.cap_mbs[j] = u.success_mbs * ds.log_hi_mbs[j] + cache.loss_mbs[j];
+    ds.cap_fbs[j] = u.success_fbs * ds.log_hi_fbs[j] + cache.loss_fbs[j];
+    constexpr double kGuard = 1e-12;
+    ds.lo_mbs[j] = cache.pr_mbs[j] * (1.0 - kGuard);
+    ds.hi_mbs[j] = (cache.pr_mbs[j] + kRhoCap) * (1.0 + kGuard);
+    ds.lo_fbs[j] = ds.pr_fbs[j] * (1.0 - kGuard);
+    ds.hi_fbs[j] = (ds.pr_fbs[j] + kRhoCap) * (1.0 + kGuard);
   }
 
   DualResult result;
   result.allocation = SlotAllocation::zeros(ctx);
   result.allocation.expected_channels = gt_per_fbs;
-  if (options.record_trace) result.trace.push_back(lambda);
+  if (options.record_trace) result.trace.push_back(ds.lambda);
 
-  std::vector<double> next(num_prices);
   for (std::size_t tau = 0; tau < options.max_iterations; ++tau) {
-    const std::vector<double> sums =
-        user_best_responses(ctx, gt_per_fbs, lambda, result.allocation);
+    user_best_responses(ctx, cache, ds, ds.lambda, /*store_choices=*/false);
 
     // Eq. (16)/(18)/(19): lambda_i <- [lambda_i - s (1 - sum_j rho_ij)]^+.
     for (std::size_t i = 0; i < num_prices; ++i) {
-      next[i] = util::pos(lambda[i] - options.step_size * (1.0 - sums[i]));
-      FEMTOCR_DCHECK_FINITE(next[i], "dual price diverged mid-iteration");
+      ds.next[i] =
+          util::pos(ds.lambda[i] - options.step_size * (1.0 - ds.sums[i]));
+      FEMTOCR_DCHECK_FINITE(ds.next[i], "dual price diverged mid-iteration");
     }
-    const double movement = util::squared_distance(next, lambda);
-    lambda = next;
-    if (options.record_trace) result.trace.push_back(lambda);
+    const double movement = util::squared_distance(ds.next, ds.lambda);
+    std::swap(ds.lambda, ds.next);
+    if (options.record_trace) result.trace.push_back(ds.lambda);
     ++result.iterations;
     if (movement <= options.tolerance) {
       result.converged = true;
@@ -131,12 +335,17 @@ DualResult solve_dual(const SlotContext& ctx,
   h_iters.observe(static_cast<double>(result.iterations));
 
   // Primal recovery at the final prices, then projection onto the budgets.
-  user_best_responses(ctx, gt_per_fbs, lambda, result.allocation);
+  user_best_responses(ctx, cache, ds, ds.lambda, /*store_choices=*/true);
+  for (std::size_t j = 0; j < K; ++j) {
+    result.allocation.use_mbs[j] = ds.choice_use_mbs[j] != 0;
+    result.allocation.rho_mbs[j] = ds.choice_rho_mbs[j];
+    result.allocation.rho_fbs[j] = ds.choice_rho_fbs[j];
+  }
   rescale_to_budgets(ctx, result.allocation);
   result.allocation.objective = slot_objective(ctx, result.allocation);
   result.allocation.upper_bound = result.allocation.objective;
   result.allocation.dual_iterations = result.iterations;
-  result.lambda = std::move(lambda);
+  result.lambda = ds.lambda;
 
   // Exit contracts: finite nonnegative prices, and a primal point that is
   // feasible for problem (12) — shares in range, per-resource sums within
@@ -150,7 +359,7 @@ DualResult solve_dual(const SlotContext& ctx,
 #if FEMTOCR_DCHECK_IS_ON()
   {
     double sum_mbs = 0.0;
-    std::vector<double> sum_fbs(ctx.num_fbs, 0.0);
+    std::vector<double> sum_fbs(ctx.num_fbs, 0.0);  // lint-allow: no-hot-loop-alloc (debug-only)
     for (std::size_t j = 0; j < ctx.users.size(); ++j) {
       FEMTOCR_DCHECK_GE(result.allocation.rho_mbs[j], 0.0,
                         "slot shares are nonnegative");
@@ -169,6 +378,14 @@ DualResult solve_dual(const SlotContext& ctx,
   // Every FBS holds its assigned expected channel count; the channel id
   // lists are the caller's to fill (they depend on how gt was produced).
   return result;
+}
+
+DualResult solve_dual(const SlotContext& ctx,
+                      const std::vector<double>& gt_per_fbs,
+                      const DualOptions& options) {
+  SlotCache cache;
+  cache.build(ctx);
+  return solve_dual(ctx, cache, gt_per_fbs, options);
 }
 
 }  // namespace femtocr::core

@@ -53,12 +53,22 @@ struct DualResult {
   std::vector<std::vector<double>> trace;
 };
 
+struct SlotCache;
+
 /// Runs the Table I/II subgradient for the given expected channel counts
 /// per FBS (all equal to ctx.total_expected_channels() in the
 /// non-interfering cases; per-allocation G_i in the interfering case).
 /// The returned primal allocation is recovered at the final prices and then
 /// rescaled onto the slot budgets, so it is always feasible.
 DualResult solve_dual(const SlotContext& ctx,
+                      const std::vector<double>& gt_per_fbs,
+                      const DualOptions& options = {});
+
+/// Same solve against a prebuilt per-slot cache (core/slot_cache.h).
+/// Bit-identical to the overload above — the cache holds the exact values
+/// the solver would recompute — but skips the per-call table build, which
+/// is how schemes that solve many times per slot should call it.
+DualResult solve_dual(const SlotContext& ctx, const SlotCache& cache,
                       const std::vector<double>& gt_per_fbs,
                       const DualOptions& options = {});
 

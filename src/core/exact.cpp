@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/slot_cache.h"
 #include "core/waterfill.h"
 #include "util/check.h"
 #include "util/metrics.h"
@@ -18,6 +19,10 @@ ExactResult exact_allocate(const SlotContext& ctx, bool exhaustive_assignment,
   const util::ScopedTimer timer(t_alloc);
 
   ctx.validate();
+  // One cache shared by every combination's solve (the odometer below can
+  // enumerate thousands of channel assignments per call).
+  SlotCache cache;
+  cache.build(ctx);
   const auto independent_sets = ctx.graph->independent_sets();
   const std::size_t num_sets = independent_sets.size();
   const std::size_t num_channels = ctx.available.size();
@@ -46,8 +51,8 @@ ExactResult exact_allocate(const SlotContext& ctx, bool exhaustive_assignment,
       }
     }
     SlotAllocation alloc = exhaustive_assignment
-                               ? waterfill_solve_exhaustive(ctx, gt)
-                               : waterfill_solve(ctx, gt);
+                               ? waterfill_solve_exhaustive(ctx, cache, gt)
+                               : waterfill_solve(ctx, cache, gt);
     ++result.combinations;
     if (alloc.objective > result.allocation.objective) {
       alloc.channels = std::move(channels);

@@ -1,3 +1,6 @@
+// femtocr:inner-loop-tu — Table III evaluates Q(c) for every surviving
+// candidate pair each round; the scan runs through scratch buffers and
+// parallel_for, with no per-candidate heap allocation.
 #include "core/greedy.h"
 
 #include <algorithm>
@@ -6,13 +9,16 @@
 #include <utility>
 
 #include "core/objective.h"
+#include "core/scratch.h"
+#include "core/slot_cache.h"
 #include "core/waterfill.h"
 #include "util/check.h"
 #include "util/metrics.h"
+#include "util/parallel.h"
 
 namespace femtocr::core {
 
-GreedyResult greedy_allocate(const SlotContext& ctx) {
+GreedyResult greedy_allocate(const SlotContext& ctx, const SlotCache& cache) {
   static util::Counter& c_allocs =
       util::metrics().counter("core.greedy.allocations");
   static util::Counter& c_cand_evals =
@@ -24,7 +30,11 @@ GreedyResult greedy_allocate(const SlotContext& ctx) {
   const util::ScopedTimer timer(t_alloc);
   c_allocs.add();
 
-  ctx.validate();
+  // The cache's build() validated the context; re-check only what is not
+  // covered by it.
+  FEMTOCR_CHECK(
+      cache.num_users == ctx.users.size() && cache.num_fbs == ctx.num_fbs,
+      "slot cache does not match the context");
   for (const double p : ctx.posterior) {
     FEMTOCR_CHECK_PROB(p, "channel availability posterior out of range");
   }
@@ -32,42 +42,55 @@ GreedyResult greedy_allocate(const SlotContext& ctx) {
 
   // Candidate pairs (FBS, position into ctx.available). FBSs without users
   // are skipped: any channel given to them contributes Delta = 0.
-  std::vector<bool> fbs_has_users(ctx.num_fbs, false);
-  for (const auto& u : ctx.users) fbs_has_users[u.fbs] = true;
-
-  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  GreedyScratch& gs = slot_scratch().greedy;
+  gs.candidates.clear();
   for (std::size_t i = 0; i < ctx.num_fbs; ++i) {
-    if (!fbs_has_users[i]) continue;
+    if (cache.fbs_has_users[i] == 0) continue;
     for (std::size_t a = 0; a < ctx.available.size(); ++a) {
-      candidates.emplace_back(i, a);
+      gs.candidates.emplace_back(i, a);
     }
   }
 
-  std::vector<double> gt(ctx.num_fbs, 0.0);
-  std::vector<std::vector<std::size_t>> channels(ctx.num_fbs);
+  gs.gt.assign(ctx.num_fbs, 0.0);
+  std::vector<std::vector<std::size_t>> channels(ctx.num_fbs);  // lint-allow: no-hot-loop-alloc (once per slot)
 
-  SlotAllocation current = waterfill_solve(ctx, gt);
+  SlotAllocation current = waterfill_solve(ctx, cache, gs.gt);
   result.q_empty = current.objective;
 
-  while (!candidates.empty()) {
+  while (!gs.candidates.empty()) {
     // Table III step 3: argmax over remaining pairs of Q(c + e) - Q(c).
+    // Candidate solves are independent given the shared read-only cache, so
+    // they fan out across the pool; each worker fills only its own slot of
+    // the objective buffer (and uses its own thread-local scratch), and the
+    // argmax below folds the buffer serially in candidate order — the same
+    // first-strict-maximum the sequential scan produced.
+    const std::size_t n_candidates = gs.candidates.size();
+    c_cand_evals.add(n_candidates);
+    gs.objectives.resize(n_candidates);
+    util::parallel_for(n_candidates, [&](std::size_t k) {
+      const auto [i, a] = gs.candidates[k];
+      std::vector<double>& trial = slot_scratch().greedy.trial;
+      trial.assign(gs.gt.begin(), gs.gt.end());
+      trial[i] += ctx.posterior[a];
+      gs.objectives[k] = waterfill_solve_objective(ctx, cache, trial);
+    });
+
     double best_q = -std::numeric_limits<double>::infinity();
     std::size_t best_idx = 0;
-    SlotAllocation best_alloc;
-    c_cand_evals.add(candidates.size());
-    for (std::size_t k = 0; k < candidates.size(); ++k) {
-      const auto [i, a] = candidates[k];
-      std::vector<double> trial = gt;
-      trial[i] += ctx.posterior[a];
-      SlotAllocation alloc = waterfill_solve(ctx, trial);
-      if (alloc.objective > best_q) {
-        best_q = alloc.objective;
+    for (std::size_t k = 0; k < n_candidates; ++k) {
+      if (gs.objectives[k] > best_q) {
+        best_q = gs.objectives[k];
         best_idx = k;
-        best_alloc = std::move(alloc);
       }
     }
 
-    const auto [bi, ba] = candidates[best_idx];
+    // Re-materialize the winner: the solve is deterministic, so this is the
+    // bit-exact allocation behind gs.objectives[best_idx].
+    const auto [bi, ba] = gs.candidates[best_idx];
+    gs.trial.assign(gs.gt.begin(), gs.gt.end());
+    gs.trial[bi] += ctx.posterior[ba];
+    SlotAllocation best_alloc = waterfill_solve(ctx, cache, gs.trial);
+
     GreedyStep step;
     step.fbs = bi;
     step.channel = ctx.available[ba];
@@ -75,14 +98,14 @@ GreedyResult greedy_allocate(const SlotContext& ctx) {
     step.degree = ctx.graph->degree(bi);
     result.steps.push_back(step);
 
-    gt[bi] += ctx.posterior[ba];
+    gs.gt[bi] += ctx.posterior[ba];
     channels[bi].push_back(ctx.available[ba]);
     current = std::move(best_alloc);
 
     // Table III steps 5–6: drop the chosen pair and every conflicting pair
     // R(i') x {m'}.
     const auto& nbrs = ctx.graph->neighbors(bi);
-    std::erase_if(candidates, [&](const auto& cand) {
+    std::erase_if(gs.candidates, [&](const auto& cand) {
       if (cand.second != ba) return false;
       if (cand.first == bi) return true;
       return std::find(nbrs.begin(), nbrs.end(), cand.first) != nbrs.end();
@@ -90,7 +113,7 @@ GreedyResult greedy_allocate(const SlotContext& ctx) {
   }
 
   current.channels = std::move(channels);
-  current.expected_channels = std::move(gt);
+  current.expected_channels = gs.gt;
   result.d_bar = delta_weighted_degree(result.steps);
   result.bound_tight =
       upper_bound_tight(current.objective, result.q_empty, result.d_bar);
@@ -131,6 +154,12 @@ GreedyResult greedy_allocate(const SlotContext& ctx) {
 
   result.allocation = std::move(current);
   return result;
+}
+
+GreedyResult greedy_allocate(const SlotContext& ctx) {
+  SlotCache cache;
+  cache.build(ctx);  // validates the context
+  return greedy_allocate(ctx, cache);
 }
 
 }  // namespace femtocr::core

@@ -21,6 +21,8 @@
 
 namespace femtocr::core {
 
+struct SlotCache;
+
 struct GreedyResult {
   /// Final allocation: channel lists + expected counts per FBS, shares and
   /// assignment from the solve at the final allocation, objective Q(pi_L)
@@ -36,5 +38,13 @@ struct GreedyResult {
 /// Runs Table III on the slot context. FBSs with no associated users are
 /// skipped (allocating them channels cannot increase the objective).
 GreedyResult greedy_allocate(const SlotContext& ctx);
+
+/// Same allocation against a prebuilt per-slot cache (core/slot_cache.h),
+/// bit-identical to the overload above. The candidate argmax of each round
+/// evaluates Q(c + e) for the surviving pairs through util::parallel_for
+/// (objective-only solves into an index-addressed buffer, argmax folded
+/// serially in candidate order), so results do not depend on the thread
+/// count.
+GreedyResult greedy_allocate(const SlotContext& ctx, const SlotCache& cache);
 
 }  // namespace femtocr::core

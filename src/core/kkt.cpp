@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/slot_cache.h"
 #include "core/subproblem.h"
 #include "core/waterfill.h"
 #include "util/check.h"
@@ -81,13 +82,16 @@ KktReport check_kkt(const SlotContext& ctx,
   }
 
   // Discrete dimension: best single-assignment flip, certified by exact
-  // re-water-filling.
+  // re-water-filling (one cache shared across the K + 1 evaluations).
+  SlotCache cache;
+  cache.build(ctx);
   const double base =
-      waterfill_evaluate(ctx, gt_per_fbs, alloc.use_mbs).objective;
+      waterfill_evaluate(ctx, cache, gt_per_fbs, alloc.use_mbs).objective;
   std::vector<bool> flipped = alloc.use_mbs;
   for (std::size_t j = 0; j < K; ++j) {
     flipped[j] = !flipped[j];
-    const double v = waterfill_evaluate(ctx, gt_per_fbs, flipped).objective;
+    const double v =
+        waterfill_evaluate(ctx, cache, gt_per_fbs, flipped).objective;
     report.assignment_regret =
         std::max(report.assignment_regret, v - base);
     flipped[j] = !flipped[j];

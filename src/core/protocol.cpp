@@ -1,5 +1,7 @@
 #include "core/protocol.h"
 
+#include <utility>
+
 #include "core/objective.h"
 #include "core/subproblem.h"
 #include "util/check.h"
@@ -45,18 +47,18 @@ PriceBroadcast MbsAgent::on_reports(const std::vector<ShareReport>& reports,
                                     const std::vector<std::size_t>& user_fbs) {
   FEMTOCR_CHECK(reports.size() == user_fbs.size(),
                 "need the FBS association of every reporting user");
-  std::vector<double> sums(lambda_.size(), 0.0);
+  sums_.assign(lambda_.size(), 0.0);
   for (std::size_t k = 0; k < reports.size(); ++k) {
-    sums[0] += reports[k].rho_mbs;
-    sums[user_fbs[k] + 1] += reports[k].rho_fbs;
+    sums_[0] += reports[k].rho_mbs;
+    sums_[user_fbs[k] + 1] += reports[k].rho_fbs;
   }
-  std::vector<double> next(lambda_.size());
+  next_.resize(lambda_.size());
   for (std::size_t i = 0; i < lambda_.size(); ++i) {
-    next[i] =
-        util::pos(lambda_[i] - options_.step_size * (1.0 - sums[i]));
+    next_[i] =
+        util::pos(lambda_[i] - options_.step_size * (1.0 - sums_[i]));
   }
-  const double movement = util::squared_distance(next, lambda_);
-  lambda_ = std::move(next);
+  const double movement = util::squared_distance(next_, lambda_);
+  std::swap(lambda_, next_);
   ++iteration_;
   if (movement <= options_.tolerance) converged_ = true;
   return {iteration_, lambda_};

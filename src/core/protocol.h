@@ -69,6 +69,8 @@ class MbsAgent {
  private:
   DualOptions options_;
   std::vector<double> lambda_;
+  std::vector<double> sums_;  ///< per-round share sums (reused, not re-alloc'd)
+  std::vector<double> next_;  ///< per-round price update target
   std::size_t iteration_ = 0;
   bool converged_ = false;
 };

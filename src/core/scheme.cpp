@@ -22,6 +22,9 @@ ProposedScheme::ProposedScheme(DualOptions options,
       use_distributed_solver_(use_distributed_solver) {}
 
 SlotAllocation ProposedScheme::allocate(const SlotContext& ctx) {
+  // One cache build covers every solve this slot makes — including all of
+  // the greedy's candidate evaluations — and validates the context once.
+  cache_.build(ctx);
   if (ctx.graph->num_edges() == 0) {
     // Non-interfering: every FBS reuses all available channels (spatial
     // reuse); Tables I/II apply and achieve the optimum.
@@ -31,20 +34,20 @@ SlotAllocation ProposedScheme::allocate(const SlotContext& ctx) {
       if (warm_lambda_.size() == ctx.num_fbs + 1) {
         opts.warm_start = warm_lambda_;
       }
-      DualResult res = solve_dual(ctx, gt, opts);
+      DualResult res = solve_dual(ctx, cache_, gt, opts);
       warm_lambda_ = res.lambda;
       res.allocation.channels.assign(ctx.num_fbs, ctx.available);
       res.allocation.objective_empty = res.allocation.objective;
       return res.allocation;
     }
-    SlotAllocation alloc = waterfill_solve(ctx, gt);
+    SlotAllocation alloc = waterfill_solve(ctx, cache_, gt);
     alloc.channels.assign(ctx.num_fbs, ctx.available);
     alloc.objective_empty = alloc.objective;
     return alloc;
   }
   // Interfering: Table III greedy channel allocation; prices are not
   // carried over (the inner solver is the exact water-filling).
-  GreedyResult res = greedy_allocate(ctx);
+  GreedyResult res = greedy_allocate(ctx, cache_);
   return res.allocation;
 }
 

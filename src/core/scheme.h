@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/dual_solver.h"
+#include "core/slot_cache.h"
 #include "core/types.h"
 
 namespace femtocr::core {
@@ -49,6 +50,7 @@ class ProposedScheme final : public Scheme {
   DualOptions options_;
   bool use_distributed_solver_;
   std::vector<double> warm_lambda_;  ///< prices carried across slots
+  SlotCache cache_;  ///< rebuilt each slot; buffers persist across slots
 };
 
 class EqualAllocationScheme final : public Scheme {

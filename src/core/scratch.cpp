@@ -1,0 +1,13 @@
+#include "core/scratch.h"
+
+namespace femtocr::core {
+
+SlotScratch& slot_scratch() {
+  // One arena per thread: parallel_for workers are long-lived (the global
+  // pool never shrinks), so the high-water-mark buffers amortize across
+  // every slot a worker ever touches.
+  thread_local SlotScratch scratch;
+  return scratch;
+}
+
+}  // namespace femtocr::core

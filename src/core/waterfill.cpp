@@ -1,9 +1,14 @@
+// femtocr:inner-loop-tu — the greedy allocator evaluates Q(c) hundreds of
+// times per slot through these paths; beyond first-use scratch growth they
+// must not heap-allocate (tools/lint no-hot-loop-alloc).
 #include "core/waterfill.h"
 
 #include <algorithm>
 #include <cmath>
 
 #include "core/objective.h"
+#include "core/scratch.h"
+#include "core/slot_cache.h"
 #include "core/subproblem.h"
 #include "util/check.h"
 #include "util/mathx.h"
@@ -11,20 +16,20 @@
 
 namespace femtocr::core {
 
-double waterfill_resource(const SlotContext& ctx,
-                          const std::vector<std::size_t>& users,
-                          const std::vector<double>& rates,
-                          const std::vector<double>& successes,
-                          std::vector<double>& rho_out) {
-  FEMTOCR_CHECK(users.size() == rates.size() && users.size() == successes.size(),
-                "user, rate and success lists must align");
-#if FEMTOCR_DCHECK_IS_ON()
-  for (std::size_t k = 0; k < users.size(); ++k) {
-    FEMTOCR_DCHECK_PROB(successes[k], "success probability out of range");
-    FEMTOCR_DCHECK_GE(rates[k], 0.0, "effective rate must be nonnegative");
-    FEMTOCR_DCHECK_FINITE(rates[k], "effective rate must be finite");
-  }
-#endif
+namespace {
+
+/// Bisection core shared by the public entry point and the cached
+/// assignment evaluator. `pr[k]` must equal W_k / rate_k (the price offset
+/// best_share re-divided on every bisection step) for usable members and
+/// `usable[k]` the rate > 0 && success > 0 gate, both hoisted out of the
+/// ~100-step loop; `hi` is the max usable S R / W. Every share written is
+/// bit-identical to a best_share call with the same operands: lambda is
+/// always positive inside this routine, so best_share's free-resource
+/// branch cannot trigger, and the clamp expression below is its remaining
+/// path verbatim.
+double waterfill_level(const double* successes, const double* pr,
+                       const unsigned char* usable, std::size_t n, double hi,
+                       double* rho_out) {
   // The water level IS the per-resource Lagrange dual variable of problem
   // (12), so bisection steps on it count toward core.dual.iterations
   // alongside solve_dual's subgradient passes (docs/OBSERVABILITY.md).
@@ -33,28 +38,23 @@ double waterfill_resource(const SlotContext& ctx,
   static util::Counter& c_dual_iters =
       util::metrics().counter("core.dual.iterations");
 
-  rho_out.assign(users.size(), 0.0);
-  if (users.empty()) return 0.0;
+  std::fill(rho_out, rho_out + n, 0.0);
+  if (n == 0) return 0.0;
   c_level_solves.add();
 
   auto shares_at = [&](double lambda) {
     double sum = 0.0;
-    for (std::size_t k = 0; k < users.size(); ++k) {
-      const UserState& u = ctx.users[users[k]];
-      rho_out[k] = best_share(successes[k], u.psnr, rates[k], lambda);
-      sum += rho_out[k];
+    for (std::size_t k = 0; k < n; ++k) {
+      double r = 0.0;
+      if (usable[k] != 0) {
+        r = util::clamp(successes[k] / lambda - pr[k], 0.0, kRhoCap);
+      }
+      rho_out[k] = r;
+      sum += r;
     }
     return sum;
   };
 
-  // Price upper bound: above max_j S_j R_j / W_j every share is zero.
-  double hi = 0.0;
-  for (std::size_t k = 0; k < users.size(); ++k) {
-    const UserState& u = ctx.users[users[k]];
-    if (rates[k] > 0.0) {
-      hi = std::max(hi, successes[k] * rates[k] / u.psnr);
-    }
-  }
   if (hi <= 0.0) {  // nobody can use this resource
     shares_at(1.0);
     return 0.0;
@@ -85,62 +85,148 @@ double waterfill_resource(const SlotContext& ctx,
   return hi;
 }
 
-namespace {
-
-/// Water-fills every resource for a fixed assignment and returns the
-/// completed allocation (objective included).
-SlotAllocation evaluate_assignment(const SlotContext& ctx,
-                                   const std::vector<double>& gt_per_fbs,
-                                   const std::vector<bool>& use_mbs,
-                                   std::vector<double>* lambda_out) {
+/// Water-fills every resource of a fixed assignment. Writes the per-user
+/// share images into as.rho_mbs / as.rho_fbs (zero on the unassigned
+/// branch) and optionally the per-resource water levels. Member lists come
+/// from the cache's per-FBS grouping instead of one full K-user scan per
+/// FBS; group order is ascending user index — exactly the order the scan
+/// produced — and every numeric expression matches it, so the shares are
+/// bit-identical.
+void waterfill_shares(const SlotContext& ctx, const SlotCache& cache,
+                      const std::vector<double>& gt_per_fbs,
+                      const unsigned char* use_mbs, AssignScratch& as,
+                      ResourceScratch& rs, std::vector<double>* lambda_out) {
   static util::Counter& c_evals =
       util::metrics().counter("core.waterfill.evaluations");
   c_evals.add();
 
-  SlotAllocation alloc = SlotAllocation::zeros(ctx);
-  alloc.use_mbs = use_mbs;
-  alloc.expected_channels = gt_per_fbs;
-  if (lambda_out != nullptr) lambda_out->assign(ctx.num_fbs + 1, 0.0);
+  const std::size_t K = cache.num_users;
+  as.rho_mbs.assign(K, 0.0);
+  as.rho_fbs.assign(K, 0.0);
+  if (lambda_out != nullptr) lambda_out->assign(cache.num_fbs + 1, 0.0);
 
-  // MBS resource.
-  std::vector<std::size_t> mbs_users;
-  std::vector<double> mbs_rates;
-  std::vector<double> mbs_successes;
-  for (std::size_t j = 0; j < ctx.users.size(); ++j) {
-    if (use_mbs[j]) {
-      mbs_users.push_back(j);
-      mbs_rates.push_back(ctx.users[j].rate_mbs);
-      mbs_successes.push_back(ctx.users[j].success_mbs);
+  // MBS resource: price offsets W / R_0 come straight from the cache.
+  as.members.clear();
+  as.successes.clear();
+  rs.pr.clear();
+  rs.usable.clear();
+  double hi = 0.0;
+  for (std::size_t j = 0; j < K; ++j) {
+    if (use_mbs[j] == 0) continue;
+    const UserState& u = ctx.users[j];
+    as.members.push_back(j);
+    as.successes.push_back(u.success_mbs);
+    rs.pr.push_back(cache.pr_mbs[j]);
+    rs.usable.push_back(cache.can_mbs[j]);
+    if (u.rate_mbs > 0.0) hi = std::max(hi, cache.hi_mbs[j]);
+  }
+  if (!as.members.empty()) {
+    as.rho.resize(as.members.size());
+    const double lambda0 =
+        waterfill_level(as.successes.data(), rs.pr.data(), rs.usable.data(),
+                        as.members.size(), hi, as.rho.data());
+    for (std::size_t k = 0; k < as.members.size(); ++k) {
+      as.rho_mbs[as.members[k]] = as.rho[k];
     }
+    if (lambda_out != nullptr) (*lambda_out)[0] = lambda0;
   }
-  std::vector<double> rho;
-  const double lambda0 =
-      waterfill_resource(ctx, mbs_users, mbs_rates, mbs_successes, rho);
-  for (std::size_t k = 0; k < mbs_users.size(); ++k) {
-    alloc.rho_mbs[mbs_users[k]] = rho[k];
-  }
-  if (lambda_out != nullptr) (*lambda_out)[0] = lambda0;
 
-  // One resource per FBS.
-  for (std::size_t i = 0; i < ctx.num_fbs; ++i) {
-    std::vector<std::size_t> fbs_users;
-    std::vector<double> fbs_rates;
-    std::vector<double> fbs_successes;
-    for (std::size_t j = 0; j < ctx.users.size(); ++j) {
-      if (!use_mbs[j] && ctx.users[j].fbs == i) {
-        fbs_users.push_back(j);
-        fbs_rates.push_back(ctx.users[j].rate_fbs * gt_per_fbs[i]);
-        fbs_successes.push_back(ctx.users[j].success_fbs);
-      }
+  // One resource per FBS. Empty member lists never reached the level
+  // solver before either (it returned ahead of its counters), so skipping
+  // them wholesale keeps core.waterfill.* identical.
+  for (std::size_t i = 0; i < cache.num_fbs; ++i) {
+    const std::vector<std::size_t>& group = cache.users_by_fbs[i];
+    if (group.empty()) continue;
+    as.members.clear();
+    as.successes.clear();
+    rs.pr.clear();
+    rs.usable.clear();
+    double hi_i = 0.0;
+    const double g = gt_per_fbs[i];
+    for (const std::size_t j : group) {
+      if (use_mbs[j] != 0) continue;
+      const UserState& u = ctx.users[j];
+      const double rate = u.rate_fbs * g;
+      const bool ok = rate > 0.0 && u.success_fbs > 0.0;
+      as.members.push_back(j);
+      as.successes.push_back(u.success_fbs);
+      rs.usable.push_back(ok ? 1 : 0);
+      rs.pr.push_back(ok ? u.psnr / rate : 0.0);
+      if (rate > 0.0) hi_i = std::max(hi_i, u.success_fbs * rate / u.psnr);
     }
+    if (as.members.empty()) continue;
+    as.rho.resize(as.members.size());
     const double li =
-        waterfill_resource(ctx, fbs_users, fbs_rates, fbs_successes, rho);
-    for (std::size_t k = 0; k < fbs_users.size(); ++k) {
-      alloc.rho_fbs[fbs_users[k]] = rho[k];
+        waterfill_level(as.successes.data(), rs.pr.data(), rs.usable.data(),
+                        as.members.size(), hi_i, as.rho.data());
+    for (std::size_t k = 0; k < as.members.size(); ++k) {
+      as.rho_fbs[as.members[k]] = as.rho[k];
     }
     if (lambda_out != nullptr) (*lambda_out)[i + 1] = li;
   }
+}
 
+/// slot_objective of the trial assignment, computed from the cached
+/// tables: the summation runs in user index order with the exact
+/// mbs_term / fbs_term operand grouping (fbs_term's log argument is
+/// W + rho * g * R, in that multiplication order), collapsing the log to
+/// the cached log W on zero-share branches (W + 0 * x == W bitwise).
+/// Bit-identical to materializing the allocation and calling
+/// slot_objective — the equivalence tests pin this.
+double assignment_objective(const SlotContext& ctx, const SlotCache& cache,
+                            const std::vector<double>& gt_per_fbs,
+                            const unsigned char* use_mbs,
+                            const AssignScratch& as) {
+  double q = 0.0;
+  for (std::size_t j = 0; j < cache.num_users; ++j) {
+    const UserState& u = ctx.users[j];
+    if (use_mbs[j] != 0) {
+      const double rho = as.rho_mbs[j];
+      const double a = rho <= 0.0 ? cache.log_psnr[j]
+                                  : std::log(u.psnr + rho * u.rate_mbs);
+      q += u.success_mbs * a + cache.loss_mbs[j];
+    } else {
+      const double rho = as.rho_fbs[j];
+      const double a =
+          rho <= 0.0 ? cache.log_psnr[j]
+                     : std::log(u.psnr + rho * gt_per_fbs[u.fbs] * u.rate_fbs);
+      q += u.success_fbs * a + cache.loss_fbs[j];
+    }
+  }
+  FEMTOCR_DCHECK_FINITE(q, "water-filled slot objective must be finite");
+  return q;
+}
+
+/// Objective-only evaluation of a trial assignment (the hill climb and the
+/// greedy candidate scan compare Q values and discard everything else).
+double evaluate_objective(const SlotContext& ctx, const SlotCache& cache,
+                          const std::vector<double>& gt_per_fbs,
+                          const unsigned char* use_mbs) {
+  SlotScratch& sc = slot_scratch();
+  waterfill_shares(ctx, cache, gt_per_fbs, use_mbs, sc.assign, sc.resource,
+                   nullptr);
+  return assignment_objective(ctx, cache, gt_per_fbs, use_mbs, sc.assign);
+}
+
+/// Water-fills every resource for a fixed assignment and returns the
+/// completed allocation (objective included). The objective goes through
+/// slot_objective — the uncached reference expression — which agrees
+/// bitwise with assignment_objective above.
+SlotAllocation evaluate_assignment(const SlotContext& ctx,
+                                   const SlotCache& cache,
+                                   const std::vector<double>& gt_per_fbs,
+                                   const unsigned char* use_mbs,
+                                   std::vector<double>* lambda_out) {
+  SlotScratch& sc = slot_scratch();
+  waterfill_shares(ctx, cache, gt_per_fbs, use_mbs, sc.assign, sc.resource,
+                   lambda_out);
+  SlotAllocation alloc = SlotAllocation::zeros(ctx);
+  for (std::size_t j = 0; j < cache.num_users; ++j) {
+    alloc.use_mbs[j] = use_mbs[j] != 0;
+  }
+  alloc.expected_channels = gt_per_fbs;
+  alloc.rho_mbs = sc.assign.rho_mbs;
+  alloc.rho_fbs = sc.assign.rho_fbs;
   alloc.objective = slot_objective(ctx, alloc);
   alloc.upper_bound = alloc.objective;
   FEMTOCR_DCHECK_FINITE(alloc.objective,
@@ -148,61 +234,38 @@ SlotAllocation evaluate_assignment(const SlotContext& ctx,
   return alloc;
 }
 
-}  // namespace
-
-SlotAllocation waterfill_evaluate(const SlotContext& ctx,
-                                  const std::vector<double>& gt_per_fbs,
-                                  const std::vector<bool>& use_mbs) {
-  ctx.validate();
-  FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
-                "need one expected channel count per FBS");
-  FEMTOCR_CHECK(use_mbs.size() == ctx.users.size(),
-                "need one assignment flag per user");
-  return evaluate_assignment(ctx, gt_per_fbs, use_mbs, nullptr);
-}
-
-SlotAllocation waterfill_solve(const SlotContext& ctx,
-                               const std::vector<double>& gt_per_fbs) {
-  static util::Counter& c_solves =
-      util::metrics().counter("core.waterfill.solves");
-  static util::TimerStat& t_solve =
-      util::metrics().timer("core.waterfill.solve");
-  const util::ScopedTimer timer(t_solve);
-  c_solves.add();
-
-  ctx.validate();
-  FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
-                "need one expected channel count per FBS");
-
-  const std::size_t K = ctx.users.size();
+/// Hill climbing over base-station reassignments, with the inner
+/// water-filling solved exactly for every trial assignment: single-user
+/// flips first, then pair swaps (user j to the MBS while user k moves off
+/// it), which escape the local optima single flips get stuck in when the
+/// slot budgets are tight. Each accepted move strictly increases the
+/// exactly-evaluated objective, so the search terminates; simultaneous
+/// best-response would oscillate between all-on-MBS and all-on-FBS
+/// assignments and miss mixed optima. Agreement with brute-force
+/// assignment enumeration is pinned by tests. Leaves the best assignment
+/// in `um` and returns its objective.
+double hill_climb(const SlotContext& ctx, const SlotCache& cache,
+                  const std::vector<double>& gt_per_fbs,
+                  std::vector<unsigned char>& um) {
+  const std::size_t K = cache.num_users;
   // Initial assignment: whole-slot comparison per user.
-  std::vector<bool> use_mbs(K);
+  um.resize(K);
   for (std::size_t j = 0; j < K; ++j) {
     const UserState& u = ctx.users[j];
     const double g = gt_per_fbs[u.fbs];
-    use_mbs[j] = mbs_term(u, 1.0) > fbs_term(u, 1.0, g);
+    um[j] = mbs_term(u, 1.0) > fbs_term(u, 1.0, g) ? 1 : 0;
   }
 
-  // Hill climbing over base-station reassignments, with the inner
-  // water-filling solved exactly for every trial assignment: single-user
-  // flips first, then pair swaps (user j to the MBS while user k moves off
-  // it), which escape the local optima single flips get stuck in when the
-  // slot budgets are tight. Each accepted move strictly increases the
-  // exactly-evaluated objective, so the search terminates; simultaneous
-  // best-response would oscillate between all-on-MBS and all-on-FBS
-  // assignments and miss mixed optima. Agreement with brute-force
-  // assignment enumeration is pinned by tests.
-  SlotAllocation best = evaluate_assignment(ctx, gt_per_fbs, use_mbs, nullptr);
+  double best = evaluate_objective(ctx, cache, gt_per_fbs, um.data());
   constexpr double kMinGain = 1e-12;
   constexpr std::size_t kMaxSweeps = 64;
   for (std::size_t sweep = 0; sweep < kMaxSweeps; ++sweep) {
     bool improved = false;
     auto try_move = [&](auto&& apply, auto&& revert) {
       apply();
-      SlotAllocation cand =
-          evaluate_assignment(ctx, gt_per_fbs, use_mbs, nullptr);
-      if (cand.objective > best.objective + kMinGain) {
-        best = std::move(cand);
+      const double cand = evaluate_objective(ctx, cache, gt_per_fbs, um.data());
+      if (cand > best + kMinGain) {
+        best = cand;
         improved = true;
         return true;
       }
@@ -210,20 +273,19 @@ SlotAllocation waterfill_solve(const SlotContext& ctx,
       return false;
     };
     for (std::size_t j = 0; j < K; ++j) {
-      try_move([&] { use_mbs[j] = !use_mbs[j]; },
-               [&] { use_mbs[j] = !use_mbs[j]; });
+      try_move([&] { um[j] ^= 1U; }, [&] { um[j] ^= 1U; });
     }
     for (std::size_t j = 0; j < K; ++j) {
       for (std::size_t k = j + 1; k < K; ++k) {
-        if (use_mbs[j] == use_mbs[k]) continue;  // swap changes nothing new
+        if (um[j] == um[k]) continue;  // swap changes nothing new
         try_move(
             [&] {
-              use_mbs[j] = !use_mbs[j];
-              use_mbs[k] = !use_mbs[k];
+              um[j] ^= 1U;
+              um[k] ^= 1U;
             },
             [&] {
-              use_mbs[j] = !use_mbs[j];
-              use_mbs[k] = !use_mbs[k];
+              um[j] ^= 1U;
+              um[k] ^= 1U;
             });
       }
     }
@@ -232,23 +294,152 @@ SlotAllocation waterfill_solve(const SlotContext& ctx,
   return best;
 }
 
+void check_cache_matches(const SlotContext& ctx, const SlotCache& cache,
+                         const std::vector<double>& gt_per_fbs) {
+  FEMTOCR_CHECK(
+      cache.num_users == ctx.users.size() && cache.num_fbs == ctx.num_fbs,
+      "slot cache does not match the context");
+  FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
+                "need one expected channel count per FBS");
+}
+
+}  // namespace
+
+double waterfill_resource(const SlotContext& ctx,
+                          const std::vector<std::size_t>& users,
+                          const std::vector<double>& rates,
+                          const std::vector<double>& successes,
+                          std::vector<double>& rho_out) {
+  FEMTOCR_CHECK(users.size() == rates.size() && users.size() == successes.size(),
+                "user, rate and success lists must align");
+#if FEMTOCR_DCHECK_IS_ON()
+  for (std::size_t k = 0; k < users.size(); ++k) {
+    FEMTOCR_DCHECK_PROB(successes[k], "success probability out of range");
+    FEMTOCR_DCHECK_GE(rates[k], 0.0, "effective rate must be nonnegative");
+    FEMTOCR_DCHECK_FINITE(rates[k], "effective rate must be finite");
+  }
+#endif
+  ResourceScratch& rs = slot_scratch().resource;
+  const std::size_t n = users.size();
+  rs.pr.resize(n);
+  rs.usable.resize(n);
+  // Price upper bound: above max_k S_k R_k / W_k every share is zero.
+  double hi = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const UserState& u = ctx.users[users[k]];
+    const bool ok = rates[k] > 0.0 && successes[k] > 0.0;
+    rs.usable[k] = ok ? 1 : 0;
+    rs.pr[k] = ok ? u.psnr / rates[k] : 0.0;
+    if (rates[k] > 0.0) {
+      hi = std::max(hi, successes[k] * rates[k] / u.psnr);
+    }
+  }
+  rho_out.resize(n);
+  return waterfill_level(successes.data(), rs.pr.data(), rs.usable.data(), n,
+                         hi, rho_out.data());
+}
+
+SlotAllocation waterfill_evaluate(const SlotContext& ctx,
+                                  const SlotCache& cache,
+                                  const std::vector<double>& gt_per_fbs,
+                                  const std::vector<bool>& use_mbs) {
+  check_cache_matches(ctx, cache, gt_per_fbs);
+  FEMTOCR_CHECK(use_mbs.size() == ctx.users.size(),
+                "need one assignment flag per user");
+  std::vector<unsigned char>& um = slot_scratch().assign.use_mbs;
+  um.resize(use_mbs.size());
+  for (std::size_t j = 0; j < use_mbs.size(); ++j) {
+    um[j] = use_mbs[j] ? 1 : 0;
+  }
+  return evaluate_assignment(ctx, cache, gt_per_fbs, um.data(), nullptr);
+}
+
+SlotAllocation waterfill_evaluate(const SlotContext& ctx,
+                                  const std::vector<double>& gt_per_fbs,
+                                  const std::vector<bool>& use_mbs) {
+  SlotCache cache;
+  cache.build(ctx);  // validates the context
+  return waterfill_evaluate(ctx, cache, gt_per_fbs, use_mbs);
+}
+
+SlotAllocation waterfill_solve(const SlotContext& ctx, const SlotCache& cache,
+                               const std::vector<double>& gt_per_fbs) {
+  static util::Counter& c_solves =
+      util::metrics().counter("core.waterfill.solves");
+  static util::TimerStat& t_solve =
+      util::metrics().timer("core.waterfill.solve");
+  const util::ScopedTimer timer(t_solve);
+  c_solves.add();
+
+  check_cache_matches(ctx, cache, gt_per_fbs);
+  std::vector<unsigned char>& um = slot_scratch().assign.use_mbs;
+  hill_climb(ctx, cache, gt_per_fbs, um);
+  // Re-waterfilling the winning assignment is deterministic, so the
+  // materialized allocation (and its slot_objective) is bit-identical to
+  // the best trial the climb kept.
+  return evaluate_assignment(ctx, cache, gt_per_fbs, um.data(), nullptr);
+}
+
+double waterfill_solve_objective(const SlotContext& ctx,
+                                 const SlotCache& cache,
+                                 const std::vector<double>& gt_per_fbs) {
+  static util::Counter& c_solves =
+      util::metrics().counter("core.waterfill.solves");
+  static util::TimerStat& t_solve =
+      util::metrics().timer("core.waterfill.solve");
+  const util::ScopedTimer timer(t_solve);
+  c_solves.add();
+
+  check_cache_matches(ctx, cache, gt_per_fbs);
+  std::vector<unsigned char>& um = slot_scratch().assign.use_mbs;
+  return hill_climb(ctx, cache, gt_per_fbs, um);
+}
+
+SlotAllocation waterfill_solve(const SlotContext& ctx,
+                               const std::vector<double>& gt_per_fbs) {
+  SlotCache cache;
+  cache.build(ctx);  // validates the context
+  return waterfill_solve(ctx, cache, gt_per_fbs);
+}
+
 SlotAllocation waterfill_solve_exhaustive(
-    const SlotContext& ctx, const std::vector<double>& gt_per_fbs) {
-  ctx.validate();
+    const SlotContext& ctx, const SlotCache& cache,
+    const std::vector<double>& gt_per_fbs) {
+  check_cache_matches(ctx, cache, gt_per_fbs);
   const std::size_t K = ctx.users.size();
   FEMTOCR_CHECK(K <= 16, "exhaustive assignment limited to 16 users");
-  SlotAllocation best;
-  best.objective = -1e300;
+  std::vector<unsigned char>& um = slot_scratch().assign.use_mbs;
+  um.resize(K);
+  double best_q = -1e300;
+  std::size_t best_mask = 0;
+  bool found = false;
   for (std::size_t mask = 0; mask < (std::size_t{1} << K); ++mask) {
-    std::vector<bool> use_mbs(K);
     for (std::size_t j = 0; j < K; ++j) {
-      use_mbs[j] = (mask >> j) & 1U;
+      um[j] = (mask >> j) & 1U;
     }
-    SlotAllocation cand =
-        evaluate_assignment(ctx, gt_per_fbs, use_mbs, nullptr);
-    if (cand.objective > best.objective) best = std::move(cand);
+    const double q = evaluate_objective(ctx, cache, gt_per_fbs, um.data());
+    if (q > best_q) {
+      best_q = q;
+      best_mask = mask;
+      found = true;
+    }
   }
-  return best;
+  if (!found) {  // unreachable for a valid context; keep the old sentinel
+    SlotAllocation best;
+    best.objective = -1e300;
+    return best;
+  }
+  for (std::size_t j = 0; j < K; ++j) {
+    um[j] = (best_mask >> j) & 1U;
+  }
+  return evaluate_assignment(ctx, cache, gt_per_fbs, um.data(), nullptr);
+}
+
+SlotAllocation waterfill_solve_exhaustive(
+    const SlotContext& ctx, const std::vector<double>& gt_per_fbs) {
+  SlotCache cache;
+  cache.build(ctx);  // validates the context
+  return waterfill_solve_exhaustive(ctx, cache, gt_per_fbs);
 }
 
 }  // namespace femtocr::core

@@ -18,6 +18,8 @@
 
 namespace femtocr::core {
 
+struct SlotCache;
+
 /// Water-fills one resource: chooses lambda >= 0 so that the shares
 /// rho_j = clamp(S_j/lambda - W_j/R_j, 0, cap) sum to at most 1 (binding
 /// whenever possible). `users` lists indices into ctx.users; `rates[k]` and
@@ -37,6 +39,20 @@ double waterfill_resource(const SlotContext& ctx,
 SlotAllocation waterfill_solve(const SlotContext& ctx,
                                const std::vector<double>& gt_per_fbs);
 
+/// Same solve against a prebuilt per-slot cache (core/slot_cache.h) —
+/// bit-identical results, no per-call table build. The cache may be shared
+/// read-only by concurrent callers (greedy candidate evaluation).
+SlotAllocation waterfill_solve(const SlotContext& ctx, const SlotCache& cache,
+                               const std::vector<double>& gt_per_fbs);
+
+/// The objective of waterfill_solve without materializing the allocation:
+/// the hill climb over assignments only ever compares Q values, so trial
+/// candidates (greedy's inner loop) skip building the K-sized share
+/// vectors. Bit-identical to waterfill_solve(...).objective.
+double waterfill_solve_objective(const SlotContext& ctx,
+                                 const SlotCache& cache,
+                                 const std::vector<double>& gt_per_fbs);
+
 /// Water-fills every resource for a FIXED base-station assignment and
 /// returns the completed allocation (objective included). The optimum over
 /// shares given the assignment; used by the KKT certifier and tests.
@@ -44,10 +60,25 @@ SlotAllocation waterfill_evaluate(const SlotContext& ctx,
                                   const std::vector<double>& gt_per_fbs,
                                   const std::vector<bool>& use_mbs);
 
+/// Cached-overload of waterfill_evaluate (bit-identical; used by callers
+/// that evaluate many assignments against one slot, e.g. the KKT
+/// certifier's flip tests and core/exact).
+SlotAllocation waterfill_evaluate(const SlotContext& ctx,
+                                  const SlotCache& cache,
+                                  const std::vector<double>& gt_per_fbs,
+                                  const std::vector<bool>& use_mbs);
+
 /// Brute-force reference: enumerates all 2^K base-station assignments and
 /// water-fills each exactly. Guarded to K <= 16. Used by tests and the
 /// exact channel allocator on small instances.
 SlotAllocation waterfill_solve_exhaustive(const SlotContext& ctx,
+                                          const std::vector<double>& gt_per_fbs);
+
+/// Cached-overload of the brute-force reference (bit-identical): the exact
+/// allocator enumerates many channel assignments per slot and shares one
+/// cache across all of them.
+SlotAllocation waterfill_solve_exhaustive(const SlotContext& ctx,
+                                          const SlotCache& cache,
                                           const std::vector<double>& gt_per_fbs);
 
 }  // namespace femtocr::core

@@ -6,6 +6,15 @@
 namespace femtocr::sim {
 
 void SchemeSummary::merge(const SchemeSummary& other) {
+  // An untouched summary (no runs, no per-user slots) is the merge
+  // identity in either position: folding shards into a fresh accumulator
+  // and folding an empty batch into a populated one are both legal and
+  // must not trip the shape checks below.
+  if (other.runs == 0 && other.per_user.empty()) return;
+  if (runs == 0 && per_user.empty()) {
+    *this = other;
+    return;
+  }
   FEMTOCR_CHECK(kind == other.kind,
                 "SchemeSummary::merge requires matching schemes");
   FEMTOCR_CHECK(per_user.size() == other.per_user.size(),

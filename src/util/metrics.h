@@ -40,6 +40,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -165,8 +166,13 @@ class Histogram {
     std::atomic<std::uint64_t> buckets[kNumBuckets]{};
     std::atomic<std::uint64_t> count{0};
     std::atomic<double> sum{0.0};
-    std::atomic<double> min{0.0};  ///< valid only when count > 0
-    std::atomic<double> max{0.0};  ///< valid only when count > 0
+    // min/max start at the fold identities (+inf / -inf), matching what
+    // reset() restores — a 0.0 start would pin the min of an all-positive
+    // series (fold_min never replaces a smaller sentinel). The accessors
+    // still skip shards with count == 0, so untouched shards never leak
+    // the sentinels into the fold.
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
   };
   Shard shards_[kMetricShards];
 };

@@ -23,7 +23,10 @@ void RunningStat::add(double x) {
 double RunningStat::mean() const { return n_ > 0 ? mean_ : 0.0; }
 
 double RunningStat::variance() const {
-  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  // m2_ is mathematically >= 0 but the parallel-Welford merge can leave a
+  // tiny negative residue from cancellation; clamp so stddev() never
+  // produces NaN via sqrt of a negative.
+  return n_ > 1 ? std::max(0.0, m2_) / static_cast<double>(n_ - 1) : 0.0;
 }
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }

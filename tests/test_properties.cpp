@@ -5,8 +5,10 @@
 // constraint, across the whole seed sweep.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "core/dual_solver.h"
 #include "core/exact.h"
 #include "core/greedy.h"
 #include "core/kkt.h"
@@ -241,6 +243,52 @@ TEST_P(SeededProperty, MoreChannelsNeverHurt) {
     EXPECT_GE(q, prev - 1e-9);
     prev = q;
   }
+}
+
+// Wider 50-seed sweeps for the scale-out PR: the dual decomposition's
+// recovered primal against the brute-force assignment optimum, and the
+// Theorem-2 / Eq.-23 greedy guarantees on random interference graphs.
+class WideSeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WideSeededProperty,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+TEST_P(WideSeededProperty, DualRecoveredPrimalNearExhaustiveOptimum) {
+  // Problem (12) for a fixed expected channel count: solve_dual's recovered
+  // primal must (a) never beat the enumerated optimum (waterfill over all
+  // 2^K assignments) and (b) land within a small duality/step-size gap of
+  // it. Empirically the worst relative gap over this sweep is ~2e-3; the 1%
+  // tolerance leaves ~5x margin without masking real regressions.
+  util::Rng rng(GetParam() * 86028121ull);
+  const std::size_t users = 4 + rng.index(5);
+  const std::size_t fbs = 1 + rng.index(3);
+  const std::size_t channels = 2 + rng.index(3);
+  auto f = test::random_context(rng, users, fbs, channels);
+  const std::vector<double> gt(fbs, f.ctx.total_expected_channels());
+  const core::DualResult d = core::solve_dual(f.ctx, gt, core::DualOptions{});
+  const core::SlotAllocation e = core::waterfill_solve_exhaustive(f.ctx, gt);
+  EXPECT_TRUE(d.allocation.feasible(f.ctx));
+  EXPECT_LE(d.allocation.objective, e.objective + 1e-9);
+  const double slack = 0.01 * std::max(1.0, std::abs(e.objective));
+  EXPECT_GE(d.allocation.objective + slack, e.objective);
+}
+
+TEST_P(WideSeededProperty, GreedyBoundsHoldOnRandomGraphs) {
+  // Theorem 2's 1/(1+Dmax) guarantee and the tighter Eq. (23) bound,
+  // re-checked across a wider seed range than the tier-1 sweep (the
+  // instance distribution keeps exact_allocate cheap: <= 4 FBSs,
+  // <= 3 channels).
+  util::Rng rng(GetParam() * 275604541ull);
+  auto f = random_interfering_context(rng);
+  const core::GreedyResult g = core::greedy_allocate(f.ctx);
+  const core::ExactResult e = core::exact_allocate(f.ctx);
+  const double greedy_gain = g.allocation.objective - g.q_empty;
+  const double optimal_gain = e.allocation.objective - g.q_empty;
+  const double dmax = static_cast<double>(f.ctx.graph->max_degree());
+  EXPECT_GE(greedy_gain + 1e-6, optimal_gain / (1.0 + dmax));
+  EXPECT_GE(g.bound_tight + 1e-6, e.allocation.objective);
+  EXPECT_LE(g.bound_tight, g.bound_dmax + 1e-9);
+  EXPECT_LE(g.allocation.objective, e.allocation.objective + 1e-6);
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+// Edge-case sweep over the statistics layer (satellite of the scale-out
+// PR): RunningStat and the 95% CI at n in {0, 1}, the parallel-Welford
+// merge identities, SchemeSummary::merge with an untouched summary on
+// either side (previously a contract abort), and histogram folds over
+// shards that were never touched since construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/metrics.h"
+#include "util/stats.h"
+
+namespace femtocr {
+namespace {
+
+TEST(StatsEdge, RunningStatEmptyIsAllZerosAndFinite) {
+  const util::RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(util::confidence_interval95(s), 0.0);
+}
+
+TEST(StatsEdge, RunningStatSingleSampleHasZeroWidthInterval) {
+  util::RunningStat s;
+  s.add(37.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 37.5);
+  // n-1 degrees of freedom: variance, stderr and the CI are all defined
+  // as 0 at n == 1 — none may go NaN.
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+  EXPECT_EQ(util::confidence_interval95(s), 0.0);
+  EXPECT_EQ(s.min(), 37.5);
+  EXPECT_EQ(s.max(), 37.5);
+}
+
+TEST(StatsEdge, RunningStatMergeWithEmptyIsIdentityBothWays) {
+  util::RunningStat filled;
+  for (const double x : {1.0, 2.0, 4.0}) filled.add(x);
+  util::RunningStat lhs = filled;
+  lhs.merge(util::RunningStat{});  // rhs empty: no-op
+  EXPECT_EQ(lhs.count(), 3u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(lhs.variance(), filled.variance());
+
+  util::RunningStat fresh;
+  fresh.merge(filled);  // lhs empty: adopt rhs wholesale
+  EXPECT_EQ(fresh.count(), 3u);
+  EXPECT_DOUBLE_EQ(fresh.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(fresh.min(), 1.0);
+  EXPECT_DOUBLE_EQ(fresh.max(), 4.0);
+}
+
+TEST(StatsEdge, VarianceNeverNegativeUnderAdversarialMerges) {
+  // Identical-mean merges are where the parallel-Welford m2 update is all
+  // cancellation; stddev must stay real (not NaN) throughout.
+  util::RunningStat acc;
+  for (int shard = 0; shard < 64; ++shard) {
+    util::RunningStat s;
+    s.add(1e15 + 0.1);
+    s.add(1e15 + 0.1);
+    acc.merge(s);
+    EXPECT_GE(acc.variance(), 0.0);
+    EXPECT_FALSE(std::isnan(acc.stddev()));
+  }
+}
+
+TEST(StatsEdge, SchemeSummaryMergeEmptyIsIdentityBothWays) {
+  sim::SchemeSummary filled;
+  filled.kind = core::SchemeKind::kHeuristic2;
+  filled.runs = 4;
+  filled.per_user.resize(3);
+  for (auto& u : filled.per_user) u.add(30.0);
+  filled.mean_psnr.add(30.0);
+
+  // Untouched rhs: a no-op even though the shapes (0 vs 3 users) differ.
+  sim::SchemeSummary lhs = filled;
+  lhs.merge(sim::SchemeSummary{});
+  EXPECT_EQ(lhs.runs, 4u);
+  EXPECT_EQ(lhs.per_user.size(), 3u);
+  EXPECT_DOUBLE_EQ(lhs.mean_psnr.mean(), 30.0);
+
+  // Untouched lhs: adopts the batch, including its scheme kind — the
+  // natural "fold shards into a fresh accumulator" pattern.
+  sim::SchemeSummary fresh;
+  fresh.merge(filled);
+  EXPECT_EQ(fresh.kind, core::SchemeKind::kHeuristic2);
+  EXPECT_EQ(fresh.runs, 4u);
+  ASSERT_EQ(fresh.per_user.size(), 3u);
+  EXPECT_DOUBLE_EQ(fresh.per_user[1].mean(), 30.0);
+}
+
+TEST(StatsEdge, SchemeSummaryMergeMatchingBatchesStillFolds) {
+  sim::SchemeSummary a;
+  a.kind = core::SchemeKind::kProposed;
+  a.runs = 2;
+  a.per_user.resize(2);
+  a.per_user[0].add(30.0);
+  a.per_user[1].add(40.0);
+  sim::SchemeSummary b = a;
+  b.per_user[0].add(32.0);
+  a.merge(b);
+  EXPECT_EQ(a.runs, 4u);
+  EXPECT_EQ(a.per_user[0].count(), 3u);
+  EXPECT_EQ(a.per_user[1].count(), 2u);
+}
+
+TEST(StatsEdge, HistogramMinMaxCorrectWithoutPriorReset) {
+  // A default-constructed histogram must fold min/max correctly on first
+  // use: the shard sentinels start at the fold identities, not 0.0, so an
+  // all-positive series cannot report min == 0.
+  util::Histogram h;
+  h.observe(5.0);
+  h.observe(9.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 5.0);
+  EXPECT_EQ(h.max(), 9.0);
+
+  util::Histogram neg;
+  neg.observe(-3.0);
+  EXPECT_EQ(neg.max(), -3.0);
+  EXPECT_EQ(neg.min(), -3.0);
+}
+
+TEST(StatsEdge, HistogramFoldSkipsNeverTouchedShards) {
+  // A single-threaded writer touches exactly one shard; the fold across
+  // all shards must ignore the untouched ones (their sentinels are +/-inf
+  // and must not leak) and an entirely untouched histogram reports zeros.
+  const util::Histogram untouched;
+  EXPECT_EQ(untouched.count(), 0u);
+  EXPECT_EQ(untouched.sum(), 0.0);
+  EXPECT_EQ(untouched.min(), 0.0);
+  EXPECT_EQ(untouched.max(), 0.0);
+  for (const std::uint64_t b : untouched.bucket_counts()) EXPECT_EQ(b, 0u);
+
+  util::Histogram h;
+  h.observe(2.5);
+  EXPECT_EQ(h.min(), 2.5);
+  EXPECT_EQ(h.max(), 2.5);
+  EXPECT_FALSE(std::isinf(h.min()));
+  EXPECT_FALSE(std::isinf(h.max()));
+}
+
+}  // namespace
+}  // namespace femtocr

@@ -28,6 +28,16 @@ Scans the library sources (``src/``) and enforces:
   pragma-once   every header uses `#pragma once` (and not an
                 #ifndef/#define include guard), consistently with the rest
                 of the tree.
+  no-hot-loop-alloc
+                ADVISORY (printed, never fails the run): flags
+                std::vector construction inside translation units tagged
+                `femtocr:inner-loop-tu` — those TUs hold the per-slot
+                solve hot paths, which draw their working vectors from the
+                core/scratch.h arena instead of allocating per call (see
+                docs/DEVELOPING.md, "Performance model & scratch-arena
+                rules"). A fresh vector there is usually an accidental
+                per-iteration allocation; bind a scratch field by
+                reference or extend SlotScratch.
 
 Suppressions:
   trailing   `// lint-allow: <rule>`        — silences <rule> on that line
@@ -71,7 +81,13 @@ RULES = (
     "no-float-eq",
     "no-raw-chrono-clock",
     "pragma-once",
+    "no-hot-loop-alloc",
 )
+
+# Advisory rules are printed but never flip the exit status: the hot-loop
+# allocation check is a heuristic (it cannot see whether the construction
+# is outside every loop), so it nudges rather than gates.
+ADVISORY_RULES = frozenset({"no-hot-loop-alloc"})
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 # The optional std:: / :: prefix is matched explicitly (rather than letting
@@ -101,6 +117,14 @@ CHRONO_CLOCK_RE = re.compile(
     r"(?:steady_clock|system_clock)\s*::\s*now\s*\(|high_resolution_clock"
 )
 GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+_H_?\b")
+# TU tag marking a per-slot solve hot path (first 30 lines, comment form).
+INNER_LOOP_TAG_RE = re.compile(r"femtocr:inner-loop-tu")
+# std::vector object construction: the element type, then a declarator or a
+# brace/paren/assignment initializer. References (`std::vector<T>&`) do not
+# match — binding a scratch field by reference is exactly the sanctioned
+# pattern. Nested template arguments are handled by backtracking over the
+# non-`&` run before the closing `>`.
+HOT_ALLOC_RE = re.compile(r"std::vector\s*<[^&;]*>\s+\w+\s*[({;=]")
 ALLOW_LINE_RE = re.compile(r"//\s*lint-allow:\s*([\w,\- ]+)")
 ALLOW_FILE_RE = re.compile(r"//\s*lint-allow-file:\s*([\w,\- ]+)")
 COMMENT_RE = re.compile(r"//.*$")
@@ -141,10 +165,13 @@ def lint_file(path: Path, layer: str | None) -> list[Violation]:
     lines = text.splitlines()
 
     file_allow: set[str] = set()
+    inner_loop_tu = False
     for line in lines[:30]:
         m = ALLOW_FILE_RE.search(line)
         if m:
             file_allow |= allowed_rules(m.group(1))
+        if INNER_LOOP_TAG_RE.search(line):
+            inner_loop_tu = True
 
     out: list[Violation] = []
 
@@ -215,6 +242,17 @@ def lint_file(path: Path, layer: str | None) -> list[Violation]:
                 "no-float-eq",
                 "floating-point == / != against a literal — use "
                 "util::near() or an explicit tolerance",
+                raw,
+            )
+
+        if inner_loop_tu and HOT_ALLOC_RE.search(code):
+            report(
+                i,
+                "no-hot-loop-alloc",
+                "std::vector constructed in an inner-loop-tagged TU — "
+                "draw working vectors from the core/scratch.h arena "
+                "(bind a SlotScratch field by reference) so the hot "
+                "paths stay allocation-free",
                 raw,
             )
 
@@ -290,6 +328,9 @@ def self_test(fixture_src: Path) -> int:
             # util/timer.cpp (the sanctioned raw-clock site) is seeded with
             # a steady_clock::now() and must stay at zero via the exemption.
             ("sim/bad_clock.cpp", "no-raw-chrono-clock"): 3,
+            # Tagged inner-loop TU: two seeded constructions fire, the
+            # reference binding and the lint-allow'd line stay silent.
+            ("core/bad_hot_alloc.cpp", "no-hot-loop-alloc"): 2,
         }
     )
     ok = True
@@ -342,12 +383,22 @@ def main(argv: list[str]) -> int:
         return 2
 
     violations = run_lint(src_root)
-    for v in violations:
+    hard = [v for v in violations if v.rule not in ADVISORY_RULES]
+    advisory = [v for v in violations if v.rule in ADVISORY_RULES]
+    for v in hard:
         print(v)
-    if violations:
-        print(f"femtocr_lint: {len(violations)} violation(s)")
+    for v in advisory:
+        print(f"{v} (advisory)")
+    if hard:
+        print(f"femtocr_lint: {len(hard)} violation(s)")
         return 1
-    print(f"femtocr_lint: clean ({src_root})")
+    if advisory:
+        print(
+            f"femtocr_lint: clean ({src_root}), "
+            f"{len(advisory)} advisory note(s)"
+        )
+    else:
+        print(f"femtocr_lint: clean ({src_root})")
     return 0
 
 

@@ -1,0 +1,19 @@
+// femtocr:inner-loop-tu — seeded fixture for the no-hot-loop-alloc
+// advisory rule: vector construction in a tagged TU fires, reference
+// bindings and suppressed lines stay silent.
+#include <vector>
+
+namespace femtocr::core {
+
+std::vector<double>& fixture_scratch();
+
+double fixture_hot_path(std::size_t n) {
+  std::vector<double> fresh(n, 0.0);        // fires: per-call allocation
+  std::vector<double> also_fresh{1.0, 2.0};  // fires: brace-init temporary
+  std::vector<double>& ok = fixture_scratch();  // silent: scratch binding
+  std::vector<double> allowed(n);  // lint-allow: no-hot-loop-alloc
+  ok.assign(n, 0.0);
+  return fresh.size() + also_fresh.size() + allowed.size() + ok.size();
+}
+
+}  // namespace femtocr::core

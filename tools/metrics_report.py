@@ -21,6 +21,16 @@ Modes:
       Diff two dumps: counters and timers side by side with absolute and
       relative deltas, again as an ASCII table. Counters present in only
       one file show a `-` on the missing side.
+  metrics_report.py --gate BASELINE CANDIDATE [--timer NAME] [--tolerance F]
+      Perf-regression gate (CI bench-smoke). Fails (exit 1) when
+      (a) any deterministic work counter (prefixes: core., bench.stress.)
+      differs from the committed baseline — algorithmic regressions show
+      up here as iteration/evaluation count drift, independent of machine
+      speed — or (b) the gated timer's total wall clock exceeds the
+      baseline by more than --tolerance (default 0.15, i.e. +15%). The
+      default timer is bench.stress.slot_solve, the per-slot solve wall
+      clock of bench/stress_scale. Regenerate the baseline with:
+        ./build/bench/stress_scale --grid=smoke --metrics-out=BENCH_baseline.json
 
 Exit status: 0 on success/valid, 1 on invalid input, 2 on usage errors.
 """
@@ -194,6 +204,52 @@ def diff(base: dict, cand: dict) -> str:
     return "\n".join(out)
 
 
+GATE_COUNTER_PREFIXES = ("core.", "bench.stress.")
+
+
+def gate(base: dict, cand: dict, timer_name: str,
+         tolerance: float) -> list[str]:
+    """Returns a list of gate failures; empty means the candidate passes."""
+    problems: list[str] = []
+
+    # Deterministic work counters must match the baseline exactly: the
+    # solvers are bit-deterministic for any thread count, so any drift in
+    # iteration/evaluation counts is a behavior change, which must come
+    # with a deliberate baseline regeneration.
+    names = sorted(set(base["counters"]) | set(cand["counters"]))
+    for name in names:
+        if not name.startswith(GATE_COUNTER_PREFIXES):
+            continue
+        b = base["counters"].get(name)
+        c = cand["counters"].get(name)
+        if b != c:
+            problems.append(
+                f"counter {name}: baseline {b} != candidate {c} "
+                "(deterministic work drifted; if intended, regenerate "
+                "BENCH_baseline.json)")
+
+    b_timer = base["timers_ns"].get(timer_name)
+    c_timer = cand["timers_ns"].get(timer_name)
+    if b_timer is None or c_timer is None:
+        side = "baseline" if b_timer is None else "candidate"
+        problems.append(f"timer {timer_name}: missing from {side}")
+        return problems
+
+    limit = b_timer["total_ns"] * (1.0 + tolerance)
+    ratio = (c_timer["total_ns"] / b_timer["total_ns"]
+             if b_timer["total_ns"] else float("inf"))
+    if c_timer["total_ns"] > limit:
+        problems.append(
+            f"timer {timer_name}: candidate total {fmt_ns(c_timer['total_ns'])} "
+            f"exceeds baseline {fmt_ns(b_timer['total_ns'])} "
+            f"by {100.0 * (ratio - 1.0):+.1f}% (tolerance +{100.0 * tolerance:.0f}%)")
+    else:
+        print(f"gate: {timer_name} {fmt_ns(c_timer['total_ns'])} vs baseline "
+              f"{fmt_ns(b_timer['total_ns'])} ({100.0 * (ratio - 1.0):+.1f}%, "
+              f"tolerance +{100.0 * tolerance:.0f}%)")
+    return problems
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="*", type=Path,
@@ -204,6 +260,14 @@ def main(argv: list[str]) -> int:
                         help="print the top timers by total time")
     parser.add_argument("--limit", type=int, default=10,
                         help="row cap for --top-timers (default 10)")
+    parser.add_argument("--gate", action="store_true",
+                        help="perf-regression gate: BASELINE CANDIDATE")
+    parser.add_argument("--timer", default="bench.stress.slot_solve",
+                        help="timer gated by --gate "
+                             "(default: bench.stress.slot_solve)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative wall-clock regression for "
+                             "--gate (default 0.15)")
     args = parser.parse_args(argv)
 
     try:
@@ -232,6 +296,23 @@ def main(argv: list[str]) -> int:
             print(f"metrics_report: invalid input: {bad[0]}", file=sys.stderr)
             return 1
         print(top_timers(docs[0], args.limit))
+        return 0
+
+    if args.gate:
+        if len(docs) != 2:
+            parser.error("--gate takes exactly two files: BASELINE CANDIDATE")
+        for path, doc in zip(args.files, docs):
+            bad = check_schema(doc)
+            if bad:
+                print(f"metrics_report: {path} invalid: {bad[0]}",
+                      file=sys.stderr)
+                return 1
+        problems = gate(docs[0], docs[1], args.timer, args.tolerance)
+        for p in problems:
+            print(f"gate: FAIL: {p}")
+        if problems:
+            return 1
+        print("gate: PASS")
         return 0
 
     if len(docs) != 2:
