@@ -3,9 +3,11 @@
 //
 // Paper shape: the proposed scheme is best for every user (up to ~4.3 dB
 // over the heuristics) and much better balanced across users.
+#include <fstream>
 #include <iostream>
 
 #include "common.h"
+#include "sim/config_io.h"
 #include "sim/experiment.h"
 #include "sim/metrics.h"
 #include "sim/scenario.h"
@@ -14,8 +16,22 @@
 
 int main(int argc, char** argv) {
   using namespace femtocr;
-  benchutil::Harness harness(argc, argv);
+  std::string fault_profile;
+  benchutil::Harness harness(
+      argc, argv, /*default_runs=*/10,
+      [&](const util::Args& args) {
+        fault_profile = args.get("fault-profile", std::string());
+      },
+      " --fault-profile=FILE");
   sim::Scenario scenario = sim::single_fbs_scenario(/*seed=*/1);
+  if (!fault_profile.empty()) {
+    std::ifstream in(fault_profile);
+    if (!in) {
+      std::cerr << "cannot open fault profile: " << fault_profile << '\n';
+      return 2;
+    }
+    sim::apply_fault_profile(in, scenario);
+  }
   harness.set_manifest_seed(scenario.seed);
   harness.set_manifest_scheme("all");
   const auto summaries = sim::run_all_schemes(scenario, harness.runs());

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "core/objective.h"
 #include "core/scratch.h"
@@ -179,23 +180,122 @@ void user_best_responses(const SlotContext& ctx, const SlotCache& cache,
 /// Projects the recovered primal point onto the slot budgets: if a resource
 /// is oversubscribed, its shares are scaled down proportionally. (At the
 /// converged prices the violation is at most the subgradient step's
-/// granularity; scaling preserves the assignment and near-optimality.)
-void rescale_to_budgets(const SlotContext& ctx, SlotAllocation& alloc) {
+/// granularity; scaling preserves the assignment and near-optimality.) The
+/// per-FBS sums live in the scratch arena: best-iterate tracking runs this
+/// once per sampled iterate, not once per solve.
+void rescale_to_budgets(const SlotContext& ctx, DualScratch& ds,
+                        SlotAllocation& alloc) {
   double sum_mbs = 0.0;
-  std::vector<double> sum_fbs(ctx.num_fbs, 0.0);  // lint-allow: no-hot-loop-alloc (once per solve)
+  ds.rescale_sum_fbs.assign(ctx.num_fbs, 0.0);
   for (std::size_t j = 0; j < ctx.users.size(); ++j) {
     sum_mbs += alloc.rho_mbs[j];
-    sum_fbs[ctx.users[j].fbs] += alloc.rho_fbs[j];
+    ds.rescale_sum_fbs[ctx.users[j].fbs] += alloc.rho_fbs[j];
   }
   const double scale_mbs = sum_mbs > 1.0 ? 1.0 / sum_mbs : 1.0;
-  std::vector<double> scale_fbs(ctx.num_fbs, 1.0);  // lint-allow: no-hot-loop-alloc (once per solve)
+  ds.rescale_scale_fbs.assign(ctx.num_fbs, 1.0);
   for (std::size_t i = 0; i < ctx.num_fbs; ++i) {
-    if (sum_fbs[i] > 1.0) scale_fbs[i] = 1.0 / sum_fbs[i];
+    if (ds.rescale_sum_fbs[i] > 1.0) {
+      ds.rescale_scale_fbs[i] = 1.0 / ds.rescale_sum_fbs[i];
+    }
   }
   for (std::size_t j = 0; j < ctx.users.size(); ++j) {
     alloc.rho_mbs[j] *= scale_mbs;
-    alloc.rho_fbs[j] *= scale_fbs[ctx.users[j].fbs];
+    alloc.rho_fbs[j] *= ds.rescale_scale_fbs[ctx.users[j].fbs];
   }
+}
+
+/// Primal recovery at `lambda`: best responses with the choices stored,
+/// copied into `alloc`, projected onto the slot budgets, scored. This is
+/// THE scoring function — the periodic best-iterate sampling and the exit
+/// path both run it, so "best sampled iterate" is judged by exactly the
+/// objective the caller receives.
+double recover_primal(const SlotContext& ctx, const SlotCache& cache,
+                      DualScratch& ds, const std::vector<double>& lambda,
+                      SlotAllocation& alloc) {
+  user_best_responses(ctx, cache, ds, lambda, /*store_choices=*/true);
+  for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+    alloc.use_mbs[j] = ds.choice_use_mbs[j] != 0;
+    alloc.rho_mbs[j] = ds.choice_rho_mbs[j];
+    alloc.rho_fbs[j] = ds.choice_rho_fbs[j];
+  }
+  rescale_to_budgets(ctx, ds, alloc);
+  return slot_objective(ctx, alloc);
+}
+
+/// Strict-improvement rule for recovery candidates: a non-finite candidate
+/// never wins, and a finite candidate beats a NaN incumbent (NaN compares
+/// false both ways, so `!(cand <= incumbent)` is the NaN-safe strict `>`).
+bool improves(double candidate, double incumbent) {
+  return std::isfinite(candidate) && !(candidate <= incumbent);
+}
+
+/// Degraded-mode share heuristics (never reached by a converged solve).
+/// Each user attaches to the branch with the larger marginal PSNR slope at
+/// rho == 0 (d/drho of S log(W + rho R) there is S R / W); each resource's
+/// slot is then split among its attached users — proportional to slope for
+/// the greedy rung, equally for the equal-shares rung. Shares are within
+/// the budgets by construction, but the dual path's projection + scoring
+/// runs anyway so the candidates are strictly comparable.
+double fallback_allocation(const SlotContext& ctx, const SlotCache& cache,
+                           DualScratch& ds, bool proportional,
+                           SlotAllocation& alloc) {
+  const std::size_t K = ctx.users.size();
+  std::fill(ds.sums.begin(), ds.sums.end(), 0.0);
+  for (std::size_t j = 0; j < K; ++j) {
+    const double slope_mbs =
+        cache.can_mbs[j] ? ds.s_mbs[j] * ds.rate_mbs[j] / ds.psnr[j] : -1.0;
+    const double slope_fbs =
+        ds.can_fbs[j] ? ds.s_fbs[j] * ds.eff_rate_fbs[j] / ds.psnr[j] : -1.0;
+    // Ties go to the FBS, matching Table I's tie rule in solve_user_cached.
+    const bool use_mbs = slope_mbs > slope_fbs;
+    const double slope = use_mbs ? slope_mbs : slope_fbs;
+    const double weight = slope > 0.0 ? (proportional ? slope : 1.0) : 0.0;
+    ds.choice_use_mbs[j] = use_mbs ? 1 : 0;
+    ds.choice_rho_mbs[j] = use_mbs ? weight : 0.0;
+    ds.choice_rho_fbs[j] = use_mbs ? 0.0 : weight;
+    ds.sums[0] += ds.choice_rho_mbs[j];
+    ds.sums[ds.fbsi[j] + 1] += ds.choice_rho_fbs[j];
+  }
+  for (std::size_t j = 0; j < K; ++j) {
+    const bool use_mbs = ds.choice_use_mbs[j] != 0;
+    const double weight = use_mbs ? ds.choice_rho_mbs[j] : ds.choice_rho_fbs[j];
+    const double total = ds.sums[use_mbs ? 0 : ds.fbsi[j] + 1];
+    const double share =
+        total > 0.0 ? std::min(weight / total, kRhoCap) : 0.0;
+    alloc.use_mbs[j] = use_mbs;
+    alloc.rho_mbs[j] = use_mbs ? share : 0.0;
+    alloc.rho_fbs[j] = use_mbs ? 0.0 : share;
+  }
+  rescale_to_budgets(ctx, ds, alloc);
+  return slot_objective(ctx, alloc);
+}
+
+/// Degradation counters, registered lazily on first use: a run in which
+/// every solve converges (all figure goldens, BENCH_baseline.json) exports
+/// exactly the historical counter set. The perf gate compares the union of
+/// `core.*` counters, so eager registration would break it for nothing.
+struct FallbackCounters {
+  util::Counter& nonconverged;     ///< solves that exhausted every attempt
+  util::Counter& retries;          ///< step-backoff attempts taken
+  util::Counter& retry_converged;  ///< solves rescued by a retry
+  util::Counter& best_iterate;     ///< recovered at the best sampled iterate
+  util::Counter& last_iterate;     ///< recovered at the final prices
+  util::Counter& greedy;           ///< fallback rung: slope-proportional
+  util::Counter& equal;            ///< fallback rung: equal shares
+  util::Counter& nonfinite_prices; ///< diverged prices reset before recovery
+};
+
+FallbackCounters& fallback_counters() {
+  static FallbackCounters c{
+      util::metrics().counter("core.dual.fallback.nonconverged"),
+      util::metrics().counter("core.dual.fallback.retries"),
+      util::metrics().counter("core.dual.fallback.retry_converged"),
+      util::metrics().counter("core.dual.fallback.best_iterate"),
+      util::metrics().counter("core.dual.fallback.last_iterate"),
+      util::metrics().counter("core.dual.fallback.greedy"),
+      util::metrics().counter("core.dual.fallback.equal"),
+      util::metrics().counter("core.dual.fallback.nonfinite_prices")};
+  return c;
 }
 
 }  // namespace
@@ -232,6 +332,9 @@ DualResult solve_dual(const SlotContext& ctx, const SlotCache& cache,
                 "need one expected channel count per FBS");
   FEMTOCR_CHECK(options.step_size > 0.0, "step size must be positive");
   FEMTOCR_CHECK(options.tolerance >= 0.0, "tolerance must be nonnegative");
+  FEMTOCR_CHECK(options.max_retries == 0 || (options.retry_backoff > 0.0 &&
+                                             options.retry_backoff <= 1.0),
+                "retry backoff must be in (0, 1]");
 
   const std::size_t K = ctx.users.size();
   const std::size_t num_prices = ctx.num_fbs + 1;
@@ -310,23 +413,57 @@ DualResult solve_dual(const SlotContext& ctx, const SlotCache& cache,
   result.allocation.expected_channels = gt_per_fbs;
   if (options.record_trace) result.trace.push_back(ds.lambda);
 
-  for (std::size_t tau = 0; tau < options.max_iterations; ++tau) {
-    user_best_responses(ctx, cache, ds, ds.lambda, /*store_choices=*/false);
+  // Best-iterate tracking state: -inf (not NaN) so any finite score wins.
+  const bool track = options.track_best_iterate;
+  const std::size_t stride =
+      std::max<std::size_t>(std::size_t{1}, options.best_iterate_stride);
+  double best_objective = -std::numeric_limits<double>::infinity();
+  std::size_t until_eval = stride;
+  bool have_best = false;
 
-    // Eq. (16)/(18)/(19): lambda_i <- [lambda_i - s (1 - sum_j rho_ij)]^+.
-    for (std::size_t i = 0; i < num_prices; ++i) {
-      ds.next[i] =
-          util::pos(ds.lambda[i] - options.step_size * (1.0 - ds.sums[i]));
-      FEMTOCR_DCHECK_FINITE(ds.next[i], "dual price diverged mid-iteration");
+  double step = options.step_size;
+  for (std::size_t attempt = 0;; ++attempt) {
+    for (std::size_t tau = 0; tau < options.max_iterations; ++tau) {
+      user_best_responses(ctx, cache, ds, ds.lambda, /*store_choices=*/false);
+
+      // Eq. (16)/(18)/(19): lambda_i <- [lambda_i - s (1 - sum_j rho_ij)]^+.
+      for (std::size_t i = 0; i < num_prices; ++i) {
+        ds.next[i] = util::pos(ds.lambda[i] - step * (1.0 - ds.sums[i]));
+        FEMTOCR_DCHECK_FINITE(ds.next[i], "dual price diverged mid-iteration");
+      }
+      const double movement = util::squared_distance(ds.next, ds.lambda);
+      std::swap(ds.lambda, ds.next);
+      if (options.record_trace) result.trace.push_back(ds.lambda);
+      ++result.iterations;
+      if (movement <= options.tolerance) {
+        result.converged = true;
+        break;
+      }
+      // Periodic best-iterate scoring, placed after the convergence check
+      // so a converging solve runs the identical update sequence whether
+      // tracking is on or off. Scores with the exit path's own recovery;
+      // result.allocation doubles as the scoring buffer (the exit path
+      // overwrites every field this writes).
+      if (track && --until_eval == 0) {
+        until_eval = stride;
+        const double q =
+            recover_primal(ctx, cache, ds, ds.lambda, result.allocation);
+        if (improves(q, best_objective)) {
+          best_objective = q;
+          ds.best_lambda = ds.lambda;
+          have_best = true;
+        }
+      }
     }
-    const double movement = util::squared_distance(ds.next, ds.lambda);
-    std::swap(ds.lambda, ds.next);
-    if (options.record_trace) result.trace.push_back(ds.lambda);
-    ++result.iterations;
-    if (movement <= options.tolerance) {
-      result.converged = true;
-      break;
-    }
+    if (result.converged || attempt >= options.max_retries) break;
+    // Retry with step-size backoff: continue from the current (warm)
+    // prices with a smaller step and a fresh iteration budget.
+    fallback_counters().retries.add();
+    step *= options.retry_backoff;
+    ++result.retries;
+  }
+  if (result.retries > 0 && result.converged) {
+    fallback_counters().retry_converged.add();
   }
 
   c_iters.add(result.iterations);
@@ -334,25 +471,102 @@ DualResult solve_dual(const SlotContext& ctx, const SlotCache& cache,
   if (result.converged) c_converged.add();
   h_iters.observe(static_cast<double>(result.iterations));
 
-  // Primal recovery at the final prices, then projection onto the budgets.
-  user_best_responses(ctx, cache, ds, ds.lambda, /*store_choices=*/true);
-  for (std::size_t j = 0; j < K; ++j) {
-    result.allocation.use_mbs[j] = ds.choice_use_mbs[j] != 0;
-    result.allocation.rho_mbs[j] = ds.choice_rho_mbs[j];
-    result.allocation.rho_fbs[j] = ds.choice_rho_fbs[j];
+  // Non-convergence housekeeping before recovery: a diverged price vector
+  // is useless for primal recovery and would poison the caller's warm
+  // start, so reset it to the cold-start point (counted; debug builds trip
+  // the in-loop DCHECK first).
+  if (!result.converged) {
+    fallback_counters().nonconverged.add();
+    bool finite = true;
+    for (const double l : ds.lambda) finite = finite && std::isfinite(l);
+    if (!finite) {
+      fallback_counters().nonfinite_prices.add();
+      std::fill(ds.lambda.begin(), ds.lambda.end(), options.initial_lambda);
+    }
   }
-  rescale_to_budgets(ctx, result.allocation);
-  result.allocation.objective = slot_objective(ctx, result.allocation);
-  result.allocation.upper_bound = result.allocation.objective;
+
+  // Primal recovery at the final prices, then projection onto the budgets.
+  double objective =
+      recover_primal(ctx, cache, ds, ds.lambda, result.allocation);
+  DualRecovery recovery = result.converged ? DualRecovery::kConverged
+                                           : DualRecovery::kLastIterate;
+  if (!result.converged) {
+    result.degraded = true;
+    // The headline fix: under an oversized step the orbit's final point
+    // can be strictly worse than an earlier one — return the best sampled
+    // iterate instead (strict improvement only; ties keep the last
+    // iterate). The winning prices also become the caller's warm start.
+    if (have_best && improves(best_objective, objective)) {
+      objective =
+          recover_primal(ctx, cache, ds, ds.best_lambda, result.allocation);
+      ds.lambda = ds.best_lambda;
+      recovery = DualRecovery::kBestIterate;
+    }
+    if (options.allow_fallback) {
+      // Explicit chain dual -> greedy -> equal; a later rung must strictly
+      // improve on the incumbent. The buffer holds one candidate at a
+      // time, so the winner is rematerialized after the comparisons (the
+      // recompute is deterministic and only runs on this degraded path).
+      const double q_greedy = fallback_allocation(ctx, cache, ds,
+                                                  /*proportional=*/true,
+                                                  result.allocation);
+      if (improves(q_greedy, objective)) {
+        objective = q_greedy;
+        recovery = DualRecovery::kGreedy;
+      }
+      const double q_equal = fallback_allocation(ctx, cache, ds,
+                                                 /*proportional=*/false,
+                                                 result.allocation);
+      if (improves(q_equal, objective)) {
+        objective = q_equal;
+        recovery = DualRecovery::kEqual;
+      } else if (recovery == DualRecovery::kGreedy) {
+        objective = fallback_allocation(ctx, cache, ds, /*proportional=*/true,
+                                        result.allocation);
+      } else {
+        objective =
+            recover_primal(ctx, cache, ds, ds.lambda, result.allocation);
+      }
+    }
+    if (!std::isfinite(objective)) {
+      // Floor of last resort regardless of allow_fallback: equal shares
+      // are always well-defined, and the exit contract below insists on a
+      // finite objective.
+      objective = fallback_allocation(ctx, cache, ds, /*proportional=*/false,
+                                      result.allocation);
+      recovery = DualRecovery::kEqual;
+    }
+    switch (recovery) {
+      case DualRecovery::kBestIterate:
+        fallback_counters().best_iterate.add();
+        break;
+      case DualRecovery::kGreedy:
+        fallback_counters().greedy.add();
+        break;
+      case DualRecovery::kEqual:
+        fallback_counters().equal.add();
+        break;
+      default:
+        fallback_counters().last_iterate.add();
+        break;
+    }
+  }
+  result.recovery = recovery;
+  result.allocation.objective = objective;
+  result.allocation.upper_bound = objective;
   result.allocation.dual_iterations = result.iterations;
   result.lambda = ds.lambda;
 
-  // Exit contracts: finite nonnegative prices, and a primal point that is
-  // feasible for problem (12) — shares in range, per-resource sums within
-  // the slot budget (rescale_to_budgets just enforced this).
-  for (const double l : result.lambda) {
-    FEMTOCR_CHECK_FINITE(l, "converged Lagrange multiplier must be finite");
-    FEMTOCR_CHECK_GE(l, 0.0, "Lagrange multipliers live on the cone");
+  // Exit contracts. A converged solve promises finite cone prices; a
+  // non-converged one reports through `degraded`/`recovery` and the
+  // core.dual.fallback.* counters instead of an over-claiming "converged
+  // multiplier" abort (the prices were sanitized above). Every path
+  // guarantees a finite, budget-feasible primal point.
+  if (result.converged) {
+    for (const double l : result.lambda) {
+      FEMTOCR_CHECK_FINITE(l, "converged Lagrange multiplier must be finite");
+      FEMTOCR_CHECK_GE(l, 0.0, "Lagrange multipliers live on the cone");
+    }
   }
   FEMTOCR_CHECK_FINITE(result.allocation.objective,
                        "recovered primal objective must be finite");

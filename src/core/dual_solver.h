@@ -41,16 +41,56 @@ struct DualOptions {
   /// channel allocation re-solves nearby problems hundreds of times per
   /// slot; warm starting cuts iterations by an order of magnitude.
   std::optional<std::vector<double>> warm_start;
+
+  /// Graceful-degradation knobs. Every sampled price vector is scored by
+  /// the *same* primal recovery used at exit (best responses + budget
+  /// projection + slot_objective), so on non-convergence the solver can
+  /// return the best primal point the orbit visited instead of whatever
+  /// the last iteration left (last-iterate recovery can be strictly worse
+  /// under an oversized step — the headline bug this option fixes). A
+  /// converged solve is bit-identical with tracking on or off.
+  bool track_best_iterate = true;
+  /// Score every Nth iterate (amortizes the O(K) recovery to ~K/N per
+  /// iteration; 0 is treated as 1).
+  std::size_t best_iterate_stride = 64;
+  /// On non-convergence, retry this many times, continuing from the
+  /// current prices with the step scaled by retry_backoff each attempt
+  /// and a fresh max_iterations budget. 0 (default) keeps the historical
+  /// single-attempt behavior.
+  std::size_t max_retries = 0;
+  double retry_backoff = 0.5;  ///< step multiplier per retry, in (0, 1]
+  /// After the retries are spent, admit the explicit fallback chain
+  /// dual -> greedy share heuristic -> equal shares: each rung replaces
+  /// the recovered point only when its objective is strictly better
+  /// (NaN never wins). Off by default — opt-in degraded mode.
+  bool allow_fallback = false;
+};
+
+/// How the returned primal point was produced. Anything other than
+/// kConverged means the subgradient did not meet the tolerance and the
+/// result is a graceful-degradation recovery (DualResult::degraded).
+enum class DualRecovery {
+  kConverged,    ///< loop met the movement tolerance; recovery at lambda*
+  kLastIterate,  ///< non-converged; primal at the final prices
+  kBestIterate,  ///< non-converged; best sampled iterate beat the last one
+  kGreedy,       ///< fallback: slope-proportional share heuristic
+  kEqual,        ///< fallback of last resort: equal shares per resource
 };
 
 struct DualResult {
   SlotAllocation allocation;
   std::vector<double> lambda;   ///< converged prices [lambda_0..lambda_N]
   bool converged = false;
-  std::size_t iterations = 0;
+  std::size_t iterations = 0;   ///< total across all retry attempts
   /// lambda(tau) per iteration when record_trace is set; index 0 is the
   /// initial point.
   std::vector<std::vector<double>> trace;
+  /// True iff the solve exhausted its iteration budget (all attempts) and
+  /// the allocation comes from a degradation path; mirrored by the
+  /// core.dual.fallback.* counters (docs/ROBUSTNESS.md).
+  bool degraded = false;
+  DualRecovery recovery = DualRecovery::kConverged;
+  std::size_t retries = 0;      ///< backoff attempts actually taken
 };
 
 struct SlotCache;

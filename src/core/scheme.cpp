@@ -1,5 +1,7 @@
 #include "core/scheme.h"
 
+#include <algorithm>
+
 #include "core/greedy.h"
 #include "core/waterfill.h"
 #include "core/heuristics.h"
@@ -34,6 +36,13 @@ SlotAllocation ProposedScheme::allocate(const SlotContext& ctx) {
       if (warm_lambda_.size() == ctx.num_fbs + 1) {
         opts.warm_start = warm_lambda_;
       }
+      // Fault-injection budget squeeze (sim/faults.h): the solve must land
+      // inside the slot, so an injected cap bounds the subgradient budget
+      // for this slot only — degradation, not abortion, is the contract.
+      if (ctx.solver_iteration_cap > 0) {
+        opts.max_iterations =
+            std::min(opts.max_iterations, ctx.solver_iteration_cap);
+      }
       DualResult res = solve_dual(ctx, cache_, gt, opts);
       warm_lambda_ = res.lambda;
       res.allocation.channels.assign(ctx.num_fbs, ctx.available);
@@ -59,10 +68,12 @@ SlotAllocation MultiuserDiversityScheme::allocate(const SlotContext& ctx) {
   return heuristic_multiuser_diversity(ctx);
 }
 
-std::unique_ptr<Scheme> make_scheme(SchemeKind kind, DualOptions options) {
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind, DualOptions options,
+                                    bool use_distributed_solver) {
   switch (kind) {
     case SchemeKind::kProposed:
-      return std::make_unique<ProposedScheme>(std::move(options));
+      return std::make_unique<ProposedScheme>(std::move(options),
+                                              use_distributed_solver);
     case SchemeKind::kHeuristic1:
       return std::make_unique<EqualAllocationScheme>();
     case SchemeKind::kHeuristic2:

@@ -65,6 +65,8 @@ class MultiuserDiversityScheme final : public Scheme {
   SlotAllocation allocate(const SlotContext& ctx) override;
 };
 
-std::unique_ptr<Scheme> make_scheme(SchemeKind kind, DualOptions options = {});
+/// `use_distributed_solver` only affects kProposed (see ProposedScheme).
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind, DualOptions options = {},
+                                    bool use_distributed_solver = false);
 
 }  // namespace femtocr::core

@@ -74,6 +74,12 @@ struct DualScratch {
   std::vector<double> choice_rho_mbs;
   std::vector<double> choice_rho_fbs;
   std::vector<unsigned char> choice_use_mbs;
+  // Best-iterate tracking (graceful degradation): the best-scoring sampled
+  // price vector, plus the budget-projection sums the periodic primal
+  // recovery needs — hoisted here so scoring an iterate allocates nothing.
+  std::vector<double> best_lambda;
+  std::vector<double> rescale_sum_fbs;    ///< per-FBS share sums
+  std::vector<double> rescale_scale_fbs;  ///< per-FBS projection factors
 };
 
 /// waterfill_resource's working set: the per-member price offsets

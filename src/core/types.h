@@ -42,6 +42,10 @@ struct SlotContext {
   std::vector<double> posterior;        ///< P^A_m aligned with `available`
   const net::InterferenceGraph* graph = nullptr;  ///< must outlive the context
   double sinr_threshold = 5.0;          ///< H, for heuristics' comparisons
+  /// Fault-injection hook (sim/faults.h): when nonzero, schemes running an
+  /// iterative solver must finish within this many iterations this slot —
+  /// the "solve must land inside the slot" budget squeeze. 0 = no cap.
+  std::size_t solver_iteration_cap = 0;
 
   /// G_t when one FBS may use every available channel:
   /// sum over A(t) of P^A_m.

@@ -1,5 +1,6 @@
 #include "sim/config_io.h"
 
+#include <cmath>
 #include <istream>
 #include <map>
 #include <ostream>
@@ -34,14 +35,28 @@ double to_double(const std::string& key, const std::string& value) {
 
 std::size_t to_size(const std::string& key, const std::string& value) {
   const double v = to_double(key, value);
-  FEMTOCR_CHECK(v >= 0.0 && v == static_cast<double>(static_cast<std::size_t>(v)),
+  // Range-check BEFORE any cast: converting a negative or out-of-range
+  // double to std::size_t is undefined behavior, so the old
+  // validate-via-roundtrip idiom was itself the bug for '-1' or '1e300'.
+  // 2^53 is the largest power of two below which every integer is exact in
+  // a double (and comfortably inside std::size_t's range).
+  constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+  FEMTOCR_CHECK(v >= 0.0 && v <= kMaxExactInteger && std::floor(v) == v,
                 "config key '" + key + "' expects a nonnegative integer");
   return static_cast<std::size_t>(v);
 }
 
-}  // namespace
+bool to_bool(const std::string& key, const std::string& value) {
+  if (value == "on" || value == "true" || value == "1") return true;
+  if (value == "off" || value == "false" || value == "0") return false;
+  throw std::logic_error("config key '" + key +
+                         "' expects on/off (or true/false), got '" + value +
+                         "'");
+}
 
-Scenario load_scenario(std::istream& in) {
+/// Reads the whole stream as `key = value` lines ('#' comments, duplicate
+/// keys rejected) — shared by scenario files and fault-profile overlays.
+std::map<std::string, std::string> parse_kv(std::istream& in) {
   std::map<std::string, std::string> kv;
   std::string line;
   std::size_t line_no = 0;
@@ -63,6 +78,88 @@ Scenario load_scenario(std::istream& in) {
     FEMTOCR_CHECK(!kv.count(key), "duplicate config key: " + key);
     kv[key] = value;
   }
+  return kv;
+}
+
+/// Consumes the robustness keys (solver options and fault rates) from `kv`
+/// into `scenario`. Shared between full scenario files and the standalone
+/// --fault-profile overlay so the two spellings cannot drift apart.
+void apply_robustness_overrides(std::map<std::string, std::string>& kv,
+                                Scenario& scenario) {
+  auto take = [&](const char* key) {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return std::string();
+    std::string v = it->second;
+    kv.erase(it);
+    return v;
+  };
+
+  if (const auto v = take("distributed_solver"); !v.empty()) {
+    scenario.use_distributed_solver = to_bool("distributed_solver", v);
+  }
+  if (const auto v = take("dual_step_size"); !v.empty()) {
+    scenario.dual.step_size = to_double("dual_step_size", v);
+    FEMTOCR_CHECK(scenario.dual.step_size > 0.0,
+                  "dual_step_size must be positive");
+  }
+  if (const auto v = take("dual_max_iterations"); !v.empty()) {
+    scenario.dual.max_iterations = to_size("dual_max_iterations", v);
+    FEMTOCR_CHECK(scenario.dual.max_iterations > 0,
+                  "dual_max_iterations must be positive");
+  }
+  if (const auto v = take("dual_max_retries"); !v.empty()) {
+    scenario.dual.max_retries = to_size("dual_max_retries", v);
+  }
+  if (const auto v = take("dual_retry_backoff"); !v.empty()) {
+    scenario.dual.retry_backoff = to_double("dual_retry_backoff", v);
+  }
+  if (const auto v = take("dual_fallback"); !v.empty()) {
+    scenario.dual.allow_fallback = to_bool("dual_fallback", v);
+  }
+  if (const auto v = take("dual_track_best_iterate"); !v.empty()) {
+    scenario.dual.track_best_iterate = to_bool("dual_track_best_iterate", v);
+  }
+  if (const auto v = take("dual_best_iterate_stride"); !v.empty()) {
+    scenario.dual.best_iterate_stride =
+        to_size("dual_best_iterate_stride", v);
+  }
+
+  FaultProfile& f = scenario.faults;
+  if (const auto v = take("fault_sensing_outage_rate"); !v.empty()) {
+    f.sensing_outage_rate = to_double("fault_sensing_outage_rate", v);
+  }
+  if (const auto v = take("fault_sensing_outage_slots"); !v.empty()) {
+    f.sensing_outage_slots = to_size("fault_sensing_outage_slots", v);
+  }
+  if (const auto v = take("fault_control_loss_rate"); !v.empty()) {
+    f.control_loss_rate = to_double("fault_control_loss_rate", v);
+  }
+  if (const auto v = take("fault_fbs_outage_rate"); !v.empty()) {
+    f.fbs_outage_rate = to_double("fault_fbs_outage_rate", v);
+  }
+  if (const auto v = take("fault_fbs_outage_slots"); !v.empty()) {
+    f.fbs_outage_slots = to_size("fault_fbs_outage_slots", v);
+  }
+  if (const auto v = take("fault_primary_burst_rate"); !v.empty()) {
+    f.primary_burst_rate = to_double("fault_primary_burst_rate", v);
+  }
+  if (const auto v = take("fault_primary_burst_slots"); !v.empty()) {
+    f.primary_burst_slots = to_size("fault_primary_burst_slots", v);
+  }
+  if (const auto v = take("fault_budget_squeeze_rate"); !v.empty()) {
+    f.budget_squeeze_rate = to_double("fault_budget_squeeze_rate", v);
+  }
+  if (const auto v = take("fault_budget_squeeze_iterations"); !v.empty()) {
+    f.budget_squeeze_iterations =
+        to_size("fault_budget_squeeze_iterations", v);
+  }
+  f.validate();
+}
+
+}  // namespace
+
+Scenario load_scenario(std::istream& in) {
+  std::map<std::string, std::string> kv = parse_kv(in);
 
   auto take = [&](const char* key) {
     const auto it = kv.find(key);
@@ -177,11 +274,26 @@ Scenario load_scenario(std::istream& in) {
     }
   }
 
+  apply_robustness_overrides(kv, scenario);
+
   if (!kv.empty()) {
     throw std::logic_error("unknown config key: " + kv.begin()->first);
   }
   scenario.finalize();
   return scenario;
+}
+
+void apply_fault_profile(std::istream& in, Scenario& scenario) {
+  std::map<std::string, std::string> kv = parse_kv(in);
+  apply_robustness_overrides(kv, scenario);
+  if (!kv.empty()) {
+    throw std::logic_error("unknown fault-profile key: " + kv.begin()->first);
+  }
+}
+
+void apply_fault_profile_string(const std::string& text, Scenario& scenario) {
+  std::istringstream in(text);
+  apply_fault_profile(in, scenario);
 }
 
 Scenario load_scenario_string(const std::string& text) {
@@ -221,6 +333,47 @@ void save_scenario(std::ostream& out, const Scenario& scenario,
       << "delivery = "
       << (scenario.delivery == DeliveryModel::kFluid ? "fluid" : "packet")
       << '\n';
+
+  // Robustness keys ride along only when they differ from the defaults, so
+  // configs saved before the fault layer existed stay byte-identical.
+  const core::DualOptions dd;
+  const auto& d = scenario.dual;
+  if (scenario.use_distributed_solver) out << "distributed_solver = on\n";
+  if (d.step_size != dd.step_size) {
+    out << "dual_step_size = " << d.step_size << '\n';
+  }
+  if (d.max_iterations != dd.max_iterations) {
+    out << "dual_max_iterations = " << d.max_iterations << '\n';
+  }
+  if (d.max_retries != dd.max_retries) {
+    out << "dual_max_retries = " << d.max_retries << '\n';
+  }
+  if (d.retry_backoff != dd.retry_backoff) {
+    out << "dual_retry_backoff = " << d.retry_backoff << '\n';
+  }
+  if (d.allow_fallback != dd.allow_fallback) {
+    out << "dual_fallback = " << (d.allow_fallback ? "on" : "off") << '\n';
+  }
+  if (d.track_best_iterate != dd.track_best_iterate) {
+    out << "dual_track_best_iterate = "
+        << (d.track_best_iterate ? "on" : "off") << '\n';
+  }
+  if (d.best_iterate_stride != dd.best_iterate_stride) {
+    out << "dual_best_iterate_stride = " << d.best_iterate_stride << '\n';
+  }
+  if (scenario.faults.enabled()) {
+    const FaultProfile& f = scenario.faults;
+    out << "fault_sensing_outage_rate = " << f.sensing_outage_rate << '\n'
+        << "fault_sensing_outage_slots = " << f.sensing_outage_slots << '\n'
+        << "fault_control_loss_rate = " << f.control_loss_rate << '\n'
+        << "fault_fbs_outage_rate = " << f.fbs_outage_rate << '\n'
+        << "fault_fbs_outage_slots = " << f.fbs_outage_slots << '\n'
+        << "fault_primary_burst_rate = " << f.primary_burst_rate << '\n'
+        << "fault_primary_burst_slots = " << f.primary_burst_slots << '\n'
+        << "fault_budget_squeeze_rate = " << f.budget_squeeze_rate << '\n'
+        << "fault_budget_squeeze_iterations = "
+        << f.budget_squeeze_iterations << '\n';
+  }
 }
 
 }  // namespace femtocr::sim

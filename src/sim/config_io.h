@@ -18,6 +18,17 @@
 //     accounting = expected     # or "realized"
 //     delivery = fluid          # or "packet"
 //
+// Robustness keys (docs/ROBUSTNESS.md) are accepted both here and in the
+// standalone --fault-profile overlay files:
+//
+//     distributed_solver = on   # Table I/II subgradient for Proposed
+//     dual_fallback = on        # dual -> greedy -> equal degradation chain
+//     dual_max_retries = 2      # step-backoff retries on non-convergence
+//     fault_sensing_outage_rate = 0.05
+//     fault_budget_squeeze_rate = 0.1
+//     fault_budget_squeeze_iterations = 5
+//     ...                       # see apply_fault_profile() for the full set
+//
 // Lines are `key = value`; '#' starts a comment; unknown keys are an
 // error (typo safety). The `base` scenario supplies geometry and videos;
 // every other key overrides that base.
@@ -37,8 +48,19 @@ Scenario load_scenario(std::istream& in);
 /// Convenience: parse from a string (used by tests and inline configs).
 Scenario load_scenario_string(const std::string& text);
 
+/// Applies a fault-profile overlay (the robustness subset of the config
+/// keys: distributed_solver, dual_*, fault_*) to an already-loaded
+/// scenario. Throws std::logic_error on malformed input, keys outside the
+/// robustness set, or rates that fail FaultProfile::validate(). Backs the
+/// CLI's --fault-profile= flag.
+void apply_fault_profile(std::istream& in, Scenario& scenario);
+
+/// Convenience: overlay from a string (tests and inline profiles).
+void apply_fault_profile_string(const std::string& text, Scenario& scenario);
+
 /// Writes a configuration that load_scenario() parses back into an
 /// equivalent scenario (base geometry is referenced by name, not dumped).
+/// Robustness keys are emitted only when they differ from the defaults.
 void save_scenario(std::ostream& out, const Scenario& scenario,
                    const std::string& base_name, std::size_t users_per_fbs);
 

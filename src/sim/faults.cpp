@@ -1,0 +1,117 @@
+#include "sim/faults.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace femtocr::sim {
+
+namespace {
+
+/// Seed salt separating the fault universe from every other stream derived
+/// from the scenario seed (spectrum/fading/mobility split off the
+/// simulator's run Rng; the fault parent is a distinct generator entirely,
+/// so enabling faults cannot shift those streams).
+constexpr std::uint64_t kFaultSeedSalt = 0xFA017D15A57E2ULL;
+
+/// Realizes a start-rate/duration interval process over `slots` positions:
+/// while no interval is active, each slot starts one with probability
+/// `rate`; an interval then covers `duration` consecutive slots.
+void realize_intervals(util::Rng& rng, double rate, std::size_t duration,
+                       std::size_t slots, std::vector<unsigned char>& out) {
+  out.assign(slots, 0);
+  std::size_t active_until = 0;
+  for (std::size_t t = 0; t < slots; ++t) {
+    if (t < active_until) {
+      out[t] = 1;
+    } else if (rng.bernoulli(rate)) {
+      out[t] = 1;
+      active_until = t + duration;
+    }
+  }
+}
+
+/// Same, independently per entity (FBS or channel), slot-major layout.
+/// Entity e's draws come from its own substream so the plan is invariant
+/// to the number of slots realized for other entities.
+void realize_entity_intervals(util::Rng& parent, double rate,
+                              std::size_t duration, std::size_t slots,
+                              std::size_t entities,
+                              std::vector<unsigned char>& out) {
+  out.assign(slots * entities, 0);
+  for (std::size_t e = 0; e < entities; ++e) {
+    util::Rng rng = parent.split(0x100 + e);
+    std::size_t active_until = 0;
+    for (std::size_t t = 0; t < slots; ++t) {
+      if (t < active_until) {
+        out[t * entities + e] = 1;
+      } else if (rng.bernoulli(rate)) {
+        out[t * entities + e] = 1;
+        active_until = t + duration;
+      }
+    }
+  }
+}
+
+void check_rate(double rate, const char* what) {
+  FEMTOCR_CHECK_PROB(rate, what);
+}
+
+}  // namespace
+
+bool FaultProfile::enabled() const {
+  return sensing_outage_rate > 0.0 || control_loss_rate > 0.0 ||
+         fbs_outage_rate > 0.0 || primary_burst_rate > 0.0 ||
+         budget_squeeze_rate > 0.0;
+}
+
+void FaultProfile::validate() const {
+  check_rate(sensing_outage_rate, "sensing outage rate must be a probability");
+  check_rate(control_loss_rate, "control loss rate must be a probability");
+  check_rate(fbs_outage_rate, "FBS outage rate must be a probability");
+  check_rate(primary_burst_rate, "primary burst rate must be a probability");
+  check_rate(budget_squeeze_rate, "budget squeeze rate must be a probability");
+  FEMTOCR_CHECK(!(sensing_outage_rate > 0.0) || sensing_outage_slots > 0,
+                "sensing outage duration must be positive");
+  FEMTOCR_CHECK(!(fbs_outage_rate > 0.0) || fbs_outage_slots > 0,
+                "FBS outage duration must be positive");
+  FEMTOCR_CHECK(!(primary_burst_rate > 0.0) || primary_burst_slots > 0,
+                "primary burst duration must be positive");
+  FEMTOCR_CHECK(!(budget_squeeze_rate > 0.0) || budget_squeeze_iterations > 0,
+                "budget squeeze must leave at least one iteration");
+}
+
+FaultPlan::FaultPlan(const FaultProfile& profile, std::size_t total_slots,
+                     std::size_t num_fbs, std::size_t num_channels,
+                     std::uint64_t seed, std::size_t run_index)
+    : profile_(profile),
+      enabled_(profile.enabled()),
+      num_fbs_(num_fbs),
+      num_channels_(num_channels) {
+  profile_.validate();
+  if (!enabled_) return;  // disabled plans hold no tables at all
+
+  // One substream per fault type off a dedicated per-run parent; the fixed
+  // split order below is part of the determinism contract (util::Rng::split
+  // depends on how many splits the parent has already handed out).
+  util::Rng parent = util::Rng(seed ^ kFaultSeedSalt).split(0x90 + run_index);
+  util::Rng sensing_rng = parent.split(0x51);
+  util::Rng control_rng = parent.split(0x52);
+  util::Rng fbs_rng = parent.split(0x53);
+  util::Rng burst_rng = parent.split(0x54);
+  util::Rng squeeze_rng = parent.split(0x55);
+
+  realize_intervals(sensing_rng, profile_.sensing_outage_rate,
+                    profile_.sensing_outage_slots, total_slots, sensing_);
+  realize_intervals(control_rng, profile_.control_loss_rate, 1, total_slots,
+                    control_);
+  realize_entity_intervals(fbs_rng, profile_.fbs_outage_rate,
+                           profile_.fbs_outage_slots, total_slots, num_fbs,
+                           fbs_down_);
+  realize_entity_intervals(burst_rng, profile_.primary_burst_rate,
+                           profile_.primary_burst_slots, total_slots,
+                           num_channels, burst_);
+  realize_intervals(squeeze_rng, profile_.budget_squeeze_rate, 1, total_slots,
+                    squeeze_);
+}
+
+}  // namespace femtocr::sim

@@ -17,6 +17,7 @@ void Scenario::finalize() {
   spectrum.num_fbs = fbss.size();
   spectrum.validate();
   radio.validate();
+  faults.validate();
   for (const auto& u : users) {
     video::sequence(u.video_name);  // throws on unknown sequences
   }

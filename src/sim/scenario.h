@@ -10,6 +10,7 @@
 
 #include "core/dual_solver.h"
 #include "net/topology.h"
+#include "sim/faults.h"
 #include "spectrum/spectrum_manager.h"
 
 namespace femtocr::sim {
@@ -78,6 +79,14 @@ struct Scenario {
   Accounting accounting = Accounting::kExpected;
   DeliveryModel delivery = DeliveryModel::kFluid;
   core::DualOptions dual;
+  /// Run the Proposed scheme's non-interfering path on the literal Table
+  /// I/II subgradient (warm-started per slot) instead of the exact
+  /// water-filling solver. Off by default; the chaos profiles turn it on
+  /// so iteration-budget squeezes exercise the degradation chain.
+  bool use_distributed_solver = false;
+  /// Fault injection (sim/faults.h). All-zero by default: the plan is
+  /// empty and the run is bitwise identical to a fault-free build.
+  FaultProfile faults;
   std::uint64_t seed = 1;
 
   /// Copies deployment counts into the spectrum config and validates.

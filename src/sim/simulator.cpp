@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/heuristics.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/stats.h"
@@ -48,9 +49,43 @@ void dcheck_slot_allocation(const core::SlotContext& ctx,
 
 }  // namespace
 
+namespace {
+
+/// The fault layer's dedicated seed universe (see sim/faults.cpp): the
+/// access re-draws under sensing outages come from here, never from the
+/// simulator's own streams, so enabling faults cannot shift the spectrum,
+/// fading or mobility substreams.
+constexpr std::uint64_t kFaultAccessSalt = 0xACCE55FA017ULL;
+
+/// sim.faults.* counters, registered lazily on first applied fault so a
+/// fault-free run's metrics dump stays byte-identical to historical ones
+/// (the baseline gate compares the union of counter names).
+struct FaultCounters {
+  util::Counter& sensing_outages;  ///< slots served on frozen posteriors
+  util::Counter& control_losses;   ///< slots on the local fallback rule
+  util::Counter& fbs_outages;      ///< downed FBS-slots observed by users
+  util::Counter& primary_bursts;   ///< channel-slots forced busy post-sensing
+  util::Counter& budget_squeezes;  ///< slots with a solver iteration cap
+};
+
+FaultCounters& fault_counters() {
+  static FaultCounters c{
+      util::metrics().counter("sim.faults.sensing_outages"),
+      util::metrics().counter("sim.faults.control_losses"),
+      util::metrics().counter("sim.faults.fbs_outages"),
+      util::metrics().counter("sim.faults.primary_bursts"),
+      util::metrics().counter("sim.faults.budget_squeezes")};
+  return c;
+}
+
+}  // namespace
+
 Simulator::Simulator(const Scenario& scenario, core::SchemeKind kind,
                      std::size_t run_index)
-    : Simulator(scenario, core::make_scheme(kind, scenario.dual), run_index) {
+    : Simulator(scenario,
+                core::make_scheme(kind, scenario.dual,
+                                  scenario.use_distributed_solver),
+                run_index) {
   kind_ = kind;
 }
 
@@ -61,7 +96,14 @@ Simulator::Simulator(const Scenario& scenario,
       kind_(core::SchemeKind::kProposed),
       topology_(build_topology(scenario)),
       scheme_(std::move(scheme)),
-      rng_(util::Rng(scenario.seed).split(0x5151 + run_index).seed()) {
+      rng_(util::Rng(scenario.seed).split(0x5151 + run_index).seed()),
+      fault_plan_(scenario.faults,
+                  scenario.gop_deadline * scenario.num_gops,
+                  scenario.fbss.size(), scenario.spectrum.num_licensed,
+                  scenario.seed, run_index),
+      fault_rng_(
+          util::Rng(scenario.seed ^ kFaultAccessSalt).split(0xA0 + run_index)
+              .seed()) {
   FEMTOCR_CHECK(scheme_ != nullptr, "simulator needs a scheme");
   const video::GopClock clock(scenario_.gop_deadline);
   sessions_.reserve(topology_.num_users());
@@ -101,11 +143,14 @@ void Simulator::move_users(util::Rng& rng) {
 }
 
 core::SlotContext Simulator::make_context(
-    const spectrum::SlotObservation& obs, util::Rng& fading_rng) {
+    const spectrum::SlotObservation& obs, util::Rng& fading_rng,
+    std::size_t slot) {
   core::SlotContext ctx;
   ctx.num_fbs = topology_.num_fbs();
   ctx.graph = &topology_.graph();
   ctx.sinr_threshold = scenario_.radio.sinr_threshold;
+  ctx.solver_iteration_cap = fault_plan_.iteration_cap(slot);
+  if (ctx.solver_iteration_cap > 0) fault_counters().budget_squeezes.add();
   for (std::size_t m : obs.available) {
     ctx.available.push_back(m);
     ctx.posterior.push_back(obs.posteriors[m]);
@@ -121,11 +166,49 @@ core::SlotContext Simulator::make_context(
     u.rate_mbs = sessions_[j].rate_constant(scenario_.common_bandwidth);
     u.rate_fbs = sessions_[j].rate_constant(scenario_.licensed_bandwidth);
     u.fbs = topology_.user(j).fbs;
+    // The fading draws always happen — stream alignment is part of the
+    // determinism contract — the outage only zeroes what the user sees.
     u.sinr_mbs = topology_.mbs_link(j).draw_sinr(fading_rng);
     u.sinr_fbs = topology_.fbs_link(j).draw_sinr(fading_rng);
+    if (fault_plan_.enabled() && fault_plan_.fbs_down(slot, u.fbs)) {
+      fault_counters().fbs_outages.add();
+      u.success_fbs = 0.0;  // downed radio: no licensed-side delivery
+      u.sinr_fbs = 0.0;
+    }
     ctx.users.push_back(u);
   }
   return ctx;
+}
+
+void Simulator::apply_spectrum_faults(std::size_t slot,
+                                      spectrum::SlotObservation& obs) {
+  // Sensing outage: the fusion pipeline is down, so the network serves the
+  // slot on the previous slot's (frozen) posteriors. Access decisions are
+  // re-realized against the stale beliefs from the fault universe's own
+  // stream; Eq. (7) still caps each access probability, so the collision
+  // budget holds with respect to the beliefs the network acts on.
+  if (fault_plan_.sensing_outage(slot) && !last_posteriors_.empty()) {
+    fault_counters().sensing_outages.add();
+    obs.posteriors = last_posteriors_;
+    obs.access = spectrum::decide_access(obs.posteriors,
+                                         scenario_.spectrum.gamma, fault_rng_);
+    obs.available = obs.access.available();
+    obs.expected_available = obs.access.expected_available();
+  } else {
+    last_posteriors_ = obs.posteriors;
+  }
+
+  // Primary-activity burst: the primary re-occupies the channel right after
+  // the sensing epoch, behind the posteriors' back. Realized collisions rise
+  // (the network cannot know), but the Eq. (7) access rule itself never
+  // exceeded its budget — the gamma invariant is about the rule.
+  for (std::size_t m = 0; m < obs.true_states.size(); ++m) {
+    if (fault_plan_.primary_burst(slot, m) &&
+        obs.true_states[m] == spectrum::ChannelState::kIdle) {
+      obs.true_states[m] = spectrum::ChannelState::kBusy;
+      fault_counters().primary_bursts.add();
+    }
+  }
 }
 
 RunResult Simulator::run() {
@@ -183,16 +266,25 @@ RunResult Simulator::run() {
       const util::ScopedTimer st(t_spectrum);
       obs = spectrum.observe_slot(t, spectrum_rng);
     }
+    if (fault_plan_.enabled()) apply_spectrum_faults(t, obs);
     accessed += obs.available.size();
     collided += obs.collisions();
     sum_available += static_cast<double>(obs.available.size());
     sum_gt += obs.expected_available;
 
-    core::SlotContext ctx = make_context(obs, fading_rng);
+    core::SlotContext ctx = make_context(obs, fading_rng, t);
     core::SlotAllocation alloc;
     {
       const util::ScopedTimer st(t_allocate);
-      alloc = scheme_->allocate(ctx);
+      if (fault_plan_.enabled() && fault_plan_.control_loss(t)) {
+        // Control/feedback loss: the coordinator's decision never reaches
+        // the base stations this slot, and each falls back to the local
+        // equal-share rule it can compute without the control channel.
+        fault_counters().control_losses.add();
+        alloc = core::heuristic_equal_allocation(ctx);
+      } else {
+        alloc = scheme_->allocate(ctx);
+      }
     }
 #if FEMTOCR_DCHECK_IS_ON()
     dcheck_slot_allocation(ctx, alloc);

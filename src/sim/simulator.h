@@ -14,6 +14,7 @@
 
 #include "core/scheme.h"
 #include "net/topology.h"
+#include "sim/faults.h"
 #include "sim/scenario.h"
 #include "sim/trace.h"
 #include "video/packet_stream.h"
@@ -67,7 +68,14 @@ class Simulator {
 
  private:
   core::SlotContext make_context(const spectrum::SlotObservation& obs,
-                                 util::Rng& fading_rng);
+                                 util::Rng& fading_rng, std::size_t slot);
+
+  /// Applies the slot's spectrum-side faults to `obs` in place: primary
+  /// bursts flip ground truth to busy behind the posteriors' back; a
+  /// sensing outage freezes the previous slot's posteriors and re-realizes
+  /// the Eq. (7) access decisions against them (collision budget intact by
+  /// construction). No-op without an enabled plan.
+  void apply_spectrum_faults(std::size_t slot, spectrum::SlotObservation& obs);
 
   /// Gaussian per-GOP user movement within the deployment's bounding box,
   /// followed by a topology rebuild (links + nearest-FBS re-association).
@@ -78,6 +86,12 @@ class Simulator {
   net::Topology topology_;
   std::unique_ptr<core::Scheme> scheme_;
   util::Rng rng_;
+  /// Fault layer (sim/faults.h). The plan is realized once per run from a
+  /// dedicated seed universe; fault_rng_ only ever draws when the plan is
+  /// enabled, so disabled runs are bitwise identical to pre-fault builds.
+  FaultPlan fault_plan_;
+  util::Rng fault_rng_;
+  std::vector<double> last_posteriors_;  ///< frozen under sensing outages
   std::vector<video::VideoSession> sessions_;
   std::vector<video::VideoSession> bound_sessions_;
   /// Populated only under DeliveryModel::kPacket.

@@ -6,13 +6,20 @@
 namespace femtocr::spectrum {
 
 double access_probability(double posterior_idle, double gamma) {
-  FEMTOCR_CHECK(posterior_idle >= 0.0 && posterior_idle <= 1.0,
-                "posterior must be a probability");
-  FEMTOCR_CHECK(gamma >= 0.0 && gamma <= 1.0,
-                "collision budget must be a probability");
+  FEMTOCR_CHECK_PROB(posterior_idle, "posterior must be a probability");
+  FEMTOCR_CHECK_PROB(gamma, "collision budget must be a probability");
+  // posterior_idle -> 1 sends busy_prob -> 0: the constraint
+  // (1 - P^A) P^D <= gamma is then slack even at P^D = 1, so the clamp
+  // must be pinned BEFORE the division (gamma / 0 is +inf, and 0 / 0 is
+  // NaN for gamma == 0). busy_prob <= gamma covers busy_prob == 0 for
+  // every admissible gamma, so the divisor below is strictly positive and
+  // the quotient strictly below 1.
   const double busy_prob = 1.0 - posterior_idle;
-  if (busy_prob <= gamma) return 1.0;  // constraint slack even at P^D = 1
-  return gamma / busy_prob;
+  const double p = busy_prob <= gamma ? 1.0 : gamma / busy_prob;
+  // Eq. (7)'s min{gamma/(1 - P^A), 1}, with the result contract-checked:
+  // every caller treats this as a Bernoulli parameter.
+  FEMTOCR_CHECK_PROB(p, "access probability must be a probability");
+  return p;
 }
 
 std::vector<std::size_t> AccessOutcome::available() const {

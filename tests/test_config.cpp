@@ -49,6 +49,17 @@ TEST(Args, MalformedTokens) {
   EXPECT_THROW(util::Args(2, argv2), std::logic_error);
 }
 
+TEST(Args, IntegerOverflowAndJunkAreErrors) {
+  // std::stoll overflow surfaces as the same typed error as junk — the
+  // parser may not wrap or truncate silently.
+  const auto args = make_args({"--big=99999999999999999999", "--neg=-",
+                               "--mix=12abc", "--hex=0x10"});
+  EXPECT_THROW(args.get("big", std::int64_t{0}), std::logic_error);
+  EXPECT_THROW(args.get("neg", std::int64_t{0}), std::logic_error);
+  EXPECT_THROW(args.get("mix", std::int64_t{0}), std::logic_error);
+  EXPECT_THROW(args.get("hex", std::int64_t{0}), std::logic_error);  // junk 'x'
+}
+
 TEST(Args, BooleanSpellings) {
   const auto args = make_args({"--a=yes", "--b=0", "--c=false"});
   EXPECT_TRUE(args.get("a", false));
@@ -117,6 +128,29 @@ TEST(ConfigIo, RejectsUnknownKeysAndBadValues) {
                std::logic_error);
   EXPECT_THROW(sim::load_scenario_string("seed = 1\nseed = 2\n"),
                std::logic_error);
+}
+
+TEST(ConfigIo, IntegerKeysRejectNonIntegerNumerics) {
+  // Regression for the to_size cast-before-validate bug: each of these used
+  // to reach `static_cast<std::size_t>` with a value outside the target
+  // range (UB) or silently truncate. All must throw instead.
+  EXPECT_THROW(sim::load_scenario_string("channels = -1\n"), std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("channels = 1e300\n"),
+               std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("channels = 2.5\n"),
+               std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("num_gops = nan\n"),
+               std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("num_gops = inf\n"),
+               std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("gop_deadline = 10junk\n"),
+               std::logic_error);
+  EXPECT_THROW(sim::load_scenario_string("seed = -7\n"), std::logic_error);
+  // Integral-valued doubles in exact range still parse.
+  const sim::Scenario ok =
+      sim::load_scenario_string("base = single\nchannels = 6\nnum_gops = 2\n");
+  EXPECT_EQ(ok.spectrum.num_licensed, 6u);
+  EXPECT_EQ(ok.num_gops, 2u);
 }
 
 TEST(ConfigIo, SaveLoadRoundTrip) {

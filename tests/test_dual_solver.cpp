@@ -140,7 +140,184 @@ TEST(DualSolver, OversizedStepDoesNotConverge) {
   const DualResult d =
       solve_dual(f.ctx, {f.ctx.total_expected_channels()}, o);
   EXPECT_FALSE(d.converged);
+  EXPECT_TRUE(d.degraded);
+  EXPECT_NE(d.recovery, DualRecovery::kConverged);
   EXPECT_TRUE(d.allocation.feasible(f.ctx));  // primal still projected
+}
+
+TEST(DualSolver, BestIterateRecoveryBeatsLastIterate) {
+  // The headline fix: on a non-converging orbit the final prices can be a
+  // strictly worse primal point than one visited earlier. Best-iterate
+  // tracking must never lose to last-iterate recovery, and must win
+  // strictly on at least one crafted instance.
+  util::Rng rng(563);
+  int strict_wins = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto f = test::random_context(rng, 4, 1, 3);
+    const std::vector<double> gt = {f.ctx.total_expected_channels()};
+    DualOptions base = tuned();
+    // A step ~50x the optimal price scale slams the prices between "free"
+    // (everyone grabs the cap) and "priced out" (everyone at zero): a
+    // short-period orbit whose phases recover very different primals. The
+    // odd stride samples both phases regardless of the orbit's (even)
+    // period, so the tracker sees the good phase even when the iteration
+    // budget happens to end on the bad one.
+    base.step_size = 1.0;
+    base.max_iterations = 1000 + 7 * trial;  // vary the terminal phase
+    base.best_iterate_stride = 7;
+
+    DualOptions last_only = base;
+    last_only.track_best_iterate = false;
+    const DualResult last = solve_dual(f.ctx, gt, last_only);
+
+    DualOptions tracked = base;
+    tracked.track_best_iterate = true;
+    const DualResult best = solve_dual(f.ctx, gt, tracked);
+
+    ASSERT_FALSE(last.converged) << "trial " << trial;
+    ASSERT_FALSE(best.converged) << "trial " << trial;
+    EXPECT_EQ(last.recovery, DualRecovery::kLastIterate);
+    EXPECT_TRUE(best.allocation.feasible(f.ctx));
+    EXPECT_GE(best.allocation.objective, last.allocation.objective)
+        << "trial " << trial;
+    if (best.allocation.objective > last.allocation.objective) {
+      ++strict_wins;
+      EXPECT_EQ(best.recovery, DualRecovery::kBestIterate);
+    }
+  }
+  EXPECT_GE(strict_wins, 1) << "tracking never beat last-iterate recovery";
+}
+
+TEST(DualSolver, TrackingIsInvisibleOnConvergedSolves) {
+  // A converging solve must be bit-identical with tracking on or off — the
+  // periodic scoring runs after the convergence check and touches nothing
+  // the update sequence reads.
+  util::Rng rng(569);
+  auto f = test::random_context(rng, 4, 2, 3);
+  const std::vector<double> gt(2, f.ctx.total_expected_channels());
+  DualOptions on = tuned();
+  on.track_best_iterate = true;
+  on.best_iterate_stride = 8;
+  DualOptions off = tuned();
+  off.track_best_iterate = false;
+  const DualResult a = solve_dual(f.ctx, gt, on);
+  const DualResult b = solve_dual(f.ctx, gt, off);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_FALSE(a.degraded);
+  EXPECT_EQ(a.recovery, DualRecovery::kConverged);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.allocation.objective, b.allocation.objective);  // bitwise
+  ASSERT_EQ(a.lambda.size(), b.lambda.size());
+  for (std::size_t i = 0; i < a.lambda.size(); ++i) {
+    EXPECT_EQ(a.lambda[i], b.lambda[i]);
+  }
+}
+
+TEST(DualSolver, TinyIterationBudgetDegradesGracefully) {
+  // Regression for the non-convergence exit contract: a squeezed budget
+  // must surface as degraded=true with a feasible, finite recovery — not
+  // as a contract abort about unconverged multipliers.
+  util::Rng rng(571);
+  auto f = test::random_context(rng, 5, 2, 3);
+  const std::vector<double> gt(2, f.ctx.total_expected_channels());
+  DualOptions o = tuned();
+  o.max_iterations = 2;
+  DualResult d;
+  ASSERT_NO_THROW(d = solve_dual(f.ctx, gt, o));
+  EXPECT_FALSE(d.converged);
+  EXPECT_TRUE(d.degraded);
+  EXPECT_NE(d.recovery, DualRecovery::kConverged);
+  EXPECT_TRUE(d.allocation.feasible(f.ctx));
+  EXPECT_TRUE(std::isfinite(d.allocation.objective));
+  EXPECT_LE(d.iterations, 2u);
+}
+
+TEST(DualSolver, RetryBackoffRescuesOversizedStep) {
+  // An orbiting step rescued by backoff: each retry continues from the
+  // current prices with the step shrunk 10x, so by the second or third
+  // attempt the step is at the tuned scale and the solve settles.
+  util::Rng rng(577);
+  auto f = test::random_context(rng, 3, 1, 3);
+  DualOptions o = tuned();
+  o.step_size = 0.05;
+  o.max_iterations = 20000;
+  o.max_retries = 3;
+  o.retry_backoff = 0.1;
+  const DualResult d =
+      solve_dual(f.ctx, {f.ctx.total_expected_channels()}, o);
+  EXPECT_TRUE(d.converged);
+  EXPECT_FALSE(d.degraded);
+  EXPECT_GE(d.retries, 1u);
+  EXPECT_EQ(d.recovery, DualRecovery::kConverged);
+}
+
+TEST(DualSolver, FallbackChainReachesGreedy) {
+  // Absurd initial prices + a one-iteration budget leave the dual recovery
+  // with zero shares; the greedy slope-proportional rung must take over.
+  // Users are shaped so proportional weighting strictly beats equal shares
+  // (A's log term is far from saturating), keeping the chain at kGreedy.
+  util::Rng rng(587);
+  auto f = test::random_context(rng, 2, 1, 2);
+  f.ctx.users[0].psnr = 1.0;
+  f.ctx.users[0].rate_mbs = 10.0;
+  f.ctx.users[0].success_mbs = 1.0;
+  f.ctx.users[0].success_fbs = 0.0;  // MBS-only
+  f.ctx.users[1].psnr = 10.0;
+  f.ctx.users[1].rate_mbs = 1.0;
+  f.ctx.users[1].success_mbs = 1.0;
+  f.ctx.users[1].success_fbs = 0.0;
+  DualOptions o = tuned();
+  o.initial_lambda = 1e5;  // every best response clamps to zero
+  o.max_iterations = 1;
+  o.tolerance = 1e-12;
+  o.allow_fallback = true;
+  const DualResult d = solve_dual(f.ctx, {0.0}, o);
+  EXPECT_FALSE(d.converged);
+  EXPECT_TRUE(d.degraded);
+  EXPECT_EQ(d.recovery, DualRecovery::kGreedy);
+  EXPECT_TRUE(d.allocation.feasible(f.ctx));
+  // The slope-heavy user holds nearly the whole slot.
+  EXPECT_GT(d.allocation.rho_mbs[0], 0.9);
+}
+
+TEST(DualSolver, FallbackChainFallsThroughToEqual) {
+  // Crafted saturating instance: user A's enormous rate saturates its log
+  // term, so greedy's slope-proportional split (everything to A) loses to
+  // the equal split that keeps user B alive — the chain's last rung.
+  util::Rng rng(593);
+  auto f = test::random_context(rng, 2, 1, 2);
+  f.ctx.users[0].psnr = 1e-3;
+  f.ctx.users[0].rate_mbs = 1000.0;  // slope 1e6, log saturates instantly
+  f.ctx.users[0].success_mbs = 1.0;
+  f.ctx.users[0].success_fbs = 0.0;
+  f.ctx.users[1].psnr = 1.0;
+  f.ctx.users[1].rate_mbs = 10.0;  // slope 10: starved by greedy
+  f.ctx.users[1].success_mbs = 1.0;
+  f.ctx.users[1].success_fbs = 0.0;
+  DualOptions o = tuned();
+  o.initial_lambda = 1e5;
+  o.max_iterations = 1;
+  o.tolerance = 1e-12;
+  o.allow_fallback = true;
+  const DualResult d = solve_dual(f.ctx, {0.0}, o);
+  EXPECT_FALSE(d.converged);
+  EXPECT_TRUE(d.degraded);
+  EXPECT_EQ(d.recovery, DualRecovery::kEqual);
+  EXPECT_TRUE(d.allocation.feasible(f.ctx));
+  EXPECT_NEAR(d.allocation.rho_mbs[0], 0.5, 1e-9);
+  EXPECT_NEAR(d.allocation.rho_mbs[1], 0.5, 1e-9);
+}
+
+TEST(DualSolver, RejectsBadRetryBackoff) {
+  util::Rng rng(599);
+  auto f = test::random_context(rng, 2, 1, 2);
+  DualOptions o = tuned();
+  o.max_retries = 2;
+  o.retry_backoff = 0.0;
+  EXPECT_THROW(solve_dual(f.ctx, {1.0}, o), std::logic_error);
+  o.retry_backoff = 1.5;
+  EXPECT_THROW(solve_dual(f.ctx, {1.0}, o), std::logic_error);
 }
 
 }  // namespace

@@ -221,6 +221,35 @@ TEST(Access, ExpectedAvailableSumsPosteriors) {
   EXPECT_NEAR(out.expected_available(), 0.8 + 0.6 + 0.9 + 0.2, 1e-12);
 }
 
+TEST(Access, CertainIdleEdgeIsDivisionFree) {
+  // Hardening regression: posterior_idle -> 1 sends the Eq. (7) divisor
+  // 1 - P^A to zero. The clamp must pin min{., 1} = 1 BEFORE dividing —
+  // gamma / 0 is +inf and (for gamma == 0) 0 / 0 is NaN, and the result
+  // feeds a Bernoulli draw. The slack-constraint branch covers the whole
+  // busy_prob <= gamma band, including exact zero.
+  EXPECT_DOUBLE_EQ(access_probability(1.0, 0.0), 1.0);  // 0/0 band
+  EXPECT_DOUBLE_EQ(access_probability(1.0, 0.2), 1.0);  // gamma/0 band
+  EXPECT_DOUBLE_EQ(access_probability(1.0, 1.0), 1.0);
+  // One ulp below certainty: the division path runs with a strictly
+  // positive divisor and stays within [0, 1].
+  const double near_one = std::nextafter(1.0, 0.0);
+  const double p = access_probability(near_one, 1e-18);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  // Exactly-on-budget boundary: busy_prob == gamma takes the slack branch.
+  EXPECT_DOUBLE_EQ(access_probability(0.8, 0.2), 1.0);
+}
+
+TEST(Access, ProbabilityRejectsNonProbabilityInputs) {
+  EXPECT_THROW(access_probability(1.5, 0.2), std::logic_error);
+  EXPECT_THROW(access_probability(-0.1, 0.2), std::logic_error);
+  EXPECT_THROW(access_probability(0.5, 1.5), std::logic_error);
+  EXPECT_THROW(access_probability(0.5, -0.2), std::logic_error);
+  const double nan = std::nan("");
+  EXPECT_THROW(access_probability(nan, 0.2), std::logic_error);
+  EXPECT_THROW(access_probability(0.5, nan), std::logic_error);
+}
+
 TEST(Access, ZeroGammaBlocksUncertainChannels) {
   util::Rng rng(41);
   const AccessOutcome out = decide_access({0.99, 1.0}, 0.0, rng);

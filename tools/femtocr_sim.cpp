@@ -38,6 +38,9 @@ Overrides (applied on top of the scenario):
   --b0=MBPS --b1=MBPS --users=K_PER_FBS
   --accounting=expected|realized  --delivery=fluid|packet
   --mobility=STDDEV_M_PER_GOP     --uncertainty-sensing
+  --fault-profile=FILE            overlay robustness keys (fault_* rates,
+                                  dual_* solver knobs, distributed_solver)
+                                  on the scenario; docs/ROBUSTNESS.md
 
 Execution:
   --threads=N                     replication worker threads; 0 = auto
@@ -227,6 +230,16 @@ int main(int argc, char** argv) {
       }
     }
     apply_overrides(scenario, args);
+
+    const std::string fault_profile = args.get("fault-profile", std::string());
+    if (!fault_profile.empty()) {
+      std::ifstream in(fault_profile);
+      if (!in) {
+        std::cerr << "cannot open fault profile: " << fault_profile << '\n';
+        return 2;
+      }
+      sim::apply_fault_profile(in, scenario);
+    }
 
     const std::string save = args.get("save-config", std::string());
     if (!save.empty()) {
