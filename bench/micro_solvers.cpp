@@ -61,7 +61,8 @@ void BM_SensingFusion(benchmark::State& state) {
     reports.push_back({static_cast<int>(i % 2), sensor});
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(spectrum::posterior_idle(0.571, reports));
+    benchmark::DoNotOptimize(
+        spectrum::posterior_idle(util::Prob{0.571}, reports));
   }
 }
 BENCHMARK(BM_SensingFusion)->Arg(1)->Arg(4)->Arg(16);

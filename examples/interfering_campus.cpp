@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
     core::UserState u;
     const auto& video = video::sequence(topo.user(j).video_name);
     u.psnr = video.alpha;
-    u.success_mbs = topo.mbs_link(j).success_probability();
-    u.success_fbs = topo.fbs_link(j).success_probability();
+    u.set_link_success(topo.mbs_link(j).success_probability(),
+                       topo.fbs_link(j).success_probability());
     u.rate_mbs = video.beta * scenario.common_bandwidth / 10.0;
     u.rate_fbs = video.beta * scenario.licensed_bandwidth / 10.0;
     u.fbs = topo.user(j).fbs;

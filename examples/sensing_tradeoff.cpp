@@ -43,11 +43,13 @@ int main(int argc, char** argv) {
   util::Table fusion({"L", "P^A (all idle)", "P^A (all busy)"});
   for (int L = 1; L <= 5; ++L) {
     std::vector<int> idle(L, 0), busy(L, 1);
-    fusion.add_row({std::to_string(L),
-                    util::Table::num(
-                        spectrum::posterior_idle(0.571, sensor, idle), 4),
-                    util::Table::num(
-                        spectrum::posterior_idle(0.571, sensor, busy), 4)});
+    const util::Prob eta{0.571};
+    fusion.add_row(
+        {std::to_string(L),
+         util::Table::num(spectrum::posterior_idle(eta, sensor, idle).value(),
+                          4),
+         util::Table::num(spectrum::posterior_idle(eta, sensor, busy).value(),
+                          4)});
   }
   fusion.print(std::cout);
 

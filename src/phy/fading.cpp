@@ -11,8 +11,9 @@ void RayleighBlockFading::validate() const {
   FEMTOCR_CHECK(threshold >= 0.0, "decoding threshold must be nonnegative");
 }
 
-double RayleighBlockFading::loss_probability() const {
-  return exponential_outage(mean_snr, threshold);
+util::Prob RayleighBlockFading::loss_probability() const {
+  return exponential_outage(util::LinearGain{mean_snr},
+                            util::LinearGain{threshold});
 }
 
 double RayleighBlockFading::draw_sinr(util::Rng& rng) const {
@@ -23,10 +24,11 @@ bool RayleighBlockFading::draw_success(util::Rng& rng) const {
   return draw_sinr(rng) > threshold;
 }
 
-double exponential_outage(double mean_snr, double threshold) {
-  FEMTOCR_CHECK(mean_snr > 0.0, "mean SINR must be positive");
-  FEMTOCR_CHECK(threshold >= 0.0, "threshold must be nonnegative");
-  return 1.0 - std::exp(-threshold / mean_snr);
+util::Prob exponential_outage(util::LinearGain mean_snr,
+                              util::LinearGain threshold) {
+  FEMTOCR_CHECK(mean_snr.value() > 0.0, "mean SINR must be positive");
+  FEMTOCR_CHECK(threshold.value() >= 0.0, "threshold must be nonnegative");
+  return util::Prob{1.0 - std::exp(-threshold.value() / mean_snr.value())};
 }
 
 }  // namespace femtocr::phy

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace femtocr::phy {
 
@@ -23,10 +24,12 @@ struct RayleighBlockFading {
   void validate() const;
 
   /// Per-slot packet loss probability P^F — Eq. (8) for the exponential CDF.
-  double loss_probability() const;
+  util::Prob loss_probability() const;
 
   /// Success probability 1 - P^F (the overline-P^F in the paper).
-  double success_probability() const { return 1.0 - loss_probability(); }
+  util::Prob success_probability() const {
+    return util::complement(loss_probability());
+  }
 
   /// Draws the block-fading SINR realization for one slot.
   double draw_sinr(util::Rng& rng) const;
@@ -37,6 +40,7 @@ struct RayleighBlockFading {
 
 /// Generic CDF-threshold loss probability for an exponential SINR with the
 /// given mean — exposed for direct use in tests and analytical checks.
-double exponential_outage(double mean_snr, double threshold);
+util::Prob exponential_outage(util::LinearGain mean_snr,
+                              util::LinearGain threshold);
 
 }  // namespace femtocr::phy

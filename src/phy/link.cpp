@@ -6,7 +6,7 @@ Link::Link(Point bs, Point user, const PathLossModel& pathloss,
            double threshold)
     : distance_(phy::distance(bs, user)) {
   pathloss.validate();
-  fading_.mean_snr = pathloss.mean_snr(distance_);
+  fading_.mean_snr = pathloss.mean_snr(distance_).value();
   fading_.threshold = threshold;
   fading_.validate();
 }

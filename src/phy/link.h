@@ -10,6 +10,7 @@
 #include "phy/geometry.h"
 #include "phy/pathloss.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace femtocr::phy {
 
@@ -19,12 +20,16 @@ class Link {
   Link(Point bs, Point user, const PathLossModel& pathloss, double threshold);
 
   double distance() const { return distance_; }
-  double mean_snr() const { return fading_.mean_snr; }
+  util::LinearGain mean_snr() const {
+    return util::LinearGain{fading_.mean_snr};
+  }
 
   /// P^F_{i,j}: per-slot loss probability (Eq. 8).
-  double loss_probability() const { return fading_.loss_probability(); }
+  util::Prob loss_probability() const { return fading_.loss_probability(); }
   /// 1 - P^F_{i,j}.
-  double success_probability() const { return fading_.success_probability(); }
+  util::Prob success_probability() const {
+    return fading_.success_probability();
+  }
 
   /// Block-fading realizations for one slot.
   double draw_sinr(util::Rng& rng) const { return fading_.draw_sinr(rng); }

@@ -12,13 +12,14 @@ void PathLossModel::validate() const {
   FEMTOCR_CHECK(exponent > 0.0, "path-loss exponent must be positive");
 }
 
-double PathLossModel::mean_snr(double d) const {
+util::LinearGain PathLossModel::mean_snr(double d) const {
   const double dd = d < reference_distance ? reference_distance : d;
-  return reference_snr * std::pow(reference_distance / dd, exponent);
+  return util::LinearGain{reference_snr *
+                          std::pow(reference_distance / dd, exponent)};
 }
 
-double PathLossModel::mean_snr_db(double d) const {
-  return 10.0 * std::log10(mean_snr(d));
+util::Db PathLossModel::mean_snr_db(double d) const {
+  return util::to_db(mean_snr(d));
 }
 
 }  // namespace femtocr::phy

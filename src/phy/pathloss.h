@@ -5,6 +5,8 @@
 // reference distance d0 are clamped to d0 (near-field guard).
 #pragma once
 
+#include "util/units.h"
+
 namespace femtocr::phy {
 
 /// Parameters of a log-distance path-loss law mapped directly to mean SNR.
@@ -16,10 +18,10 @@ struct PathLossModel {
   void validate() const;
 
   /// Mean linear SNR at distance d (meters).
-  double mean_snr(double d) const;
+  util::LinearGain mean_snr(double d) const;
 
-  /// Same in dB (10 log10).
-  double mean_snr_db(double d) const;
+  /// Same in dB (through the one to_db() definition in util/units.h).
+  util::Db mean_snr_db(double d) const;
 };
 
 }  // namespace femtocr::phy

@@ -161,8 +161,8 @@ core::SlotContext Simulator::make_context(
     core::UserState u;
     u.psnr = packet_mode ? packet_streams_[j].current_psnr()
                          : sessions_[j].current_psnr();
-    u.success_mbs = topology_.mbs_link(j).success_probability();
-    u.success_fbs = topology_.fbs_link(j).success_probability();
+    u.set_link_success(topology_.mbs_link(j).success_probability(),
+                       topology_.fbs_link(j).success_probability());
     u.rate_mbs = sessions_[j].rate_constant(scenario_.common_bandwidth);
     u.rate_fbs = sessions_[j].rate_constant(scenario_.licensed_bandwidth);
     u.fbs = topology_.user(j).fbs;

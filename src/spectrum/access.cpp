@@ -5,21 +5,24 @@
 
 namespace femtocr::spectrum {
 
-double access_probability(double posterior_idle, double gamma) {
-  FEMTOCR_CHECK_PROB(posterior_idle, "posterior must be a probability");
-  FEMTOCR_CHECK_PROB(gamma, "collision budget must be a probability");
+util::Prob access_probability(util::Prob posterior_idle, util::Prob gamma) {
+  // The Prob wrapper carries no range contract of its own (tests construct
+  // deliberately-invalid ones), so the entry checks stay.
+  FEMTOCR_CHECK_PROB(posterior_idle.value(), "posterior must be a probability");
+  FEMTOCR_CHECK_PROB(gamma.value(), "collision budget must be a probability");
   // posterior_idle -> 1 sends busy_prob -> 0: the constraint
   // (1 - P^A) P^D <= gamma is then slack even at P^D = 1, so the clamp
   // must be pinned BEFORE the division (gamma / 0 is +inf, and 0 / 0 is
   // NaN for gamma == 0). busy_prob <= gamma covers busy_prob == 0 for
   // every admissible gamma, so the divisor below is strictly positive and
   // the quotient strictly below 1.
-  const double busy_prob = 1.0 - posterior_idle;
-  const double p = busy_prob <= gamma ? 1.0 : gamma / busy_prob;
+  const double busy_prob = util::complement(posterior_idle).value();
+  const double p =
+      busy_prob <= gamma.value() ? 1.0 : gamma.value() / busy_prob;
   // Eq. (7)'s min{gamma/(1 - P^A), 1}, with the result contract-checked:
   // every caller treats this as a Bernoulli parameter.
   FEMTOCR_CHECK_PROB(p, "access probability must be a probability");
-  return p;
+  return util::Prob{p};
 }
 
 std::vector<std::size_t> AccessOutcome::available() const {
@@ -46,7 +49,9 @@ AccessOutcome decide_access(const std::vector<double>& posteriors, double gamma,
     ChannelDecision d;
     d.channel = m;
     d.posterior_idle = posteriors[m];
-    d.access_prob = access_probability(posteriors[m], gamma);
+    d.access_prob =
+        access_probability(util::Prob{posteriors[m]}, util::Prob{gamma})
+            .value();
     d.access = rng.bernoulli(d.access_prob);
     out.decisions.push_back(d);
   }

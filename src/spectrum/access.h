@@ -15,12 +15,13 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace femtocr::spectrum {
 
 /// Maximum access probability satisfying the collision constraint (Eq. 7).
 /// `posterior_idle` is P^A_m; `gamma` is the per-channel collision budget.
-double access_probability(double posterior_idle, double gamma);
+util::Prob access_probability(util::Prob posterior_idle, util::Prob gamma);
 
 /// Per-channel outcome of the access decision stage.
 struct ChannelDecision {

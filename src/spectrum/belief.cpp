@@ -16,41 +16,41 @@ BeliefTracker::BeliefTracker(std::vector<MarkovParams> params)
   }
 }
 
-double BeliefTracker::predicted_idle(std::size_t m) const {
+util::Prob BeliefTracker::predicted_idle(std::size_t m) const {
   FEMTOCR_CHECK(m < size(), "channel index out of range");
   const MarkovParams& p = params_[m];
   // Pr{idle next} = Pr{idle now} (1 - P01) + Pr{busy now} P10. A convex
   // combination of probabilities, so the result is again in [0, 1].
   const double next = belief_[m] * (1.0 - p.p01) + (1.0 - belief_[m]) * p.p10;
   FEMTOCR_DCHECK_PROB(next, "predicted idle belief left [0, 1]");
-  return next;
+  return util::Prob{next};
 }
 
 void BeliefTracker::predict() {
   for (std::size_t m = 0; m < size(); ++m) {
-    belief_[m] = predicted_idle(m);
+    belief_[m] = predicted_idle(m).value();
   }
 }
 
-double BeliefTracker::update(std::size_t m,
-                             const std::vector<SensingReport>& reports) {
+util::Prob BeliefTracker::update(std::size_t m,
+                                 const std::vector<SensingReport>& reports) {
   FEMTOCR_CHECK(m < size(), "channel index out of range");
   // Eq. (2) with the predicted belief as prior: prior busy probability
   // 1 - b plays the role of eta.
   const double prior_busy = util::clamp(1.0 - belief_[m], 0.0, 1.0 - 1e-12);
-  belief_[m] = posterior_idle(prior_busy, reports);
+  belief_[m] = posterior_idle(util::Prob{prior_busy}, reports).value();
   FEMTOCR_CHECK_PROB(belief_[m], "posterior idle belief left [0, 1]");
-  return belief_[m];
+  return util::Prob{belief_[m]};
 }
 
-double BeliefTracker::belief(std::size_t m) const {
+util::Prob BeliefTracker::belief(std::size_t m) const {
   FEMTOCR_CHECK(m < size(), "channel index out of range");
-  return belief_[m];
+  return util::Prob{belief_[m]};
 }
 
-double BeliefTracker::stationary_idle(std::size_t m) const {
+util::Prob BeliefTracker::stationary_idle(std::size_t m) const {
   FEMTOCR_CHECK(m < size(), "channel index out of range");
-  return 1.0 - params_[m].utilization();
+  return util::complement(util::Prob{params_[m].utilization()});
 }
 
 }  // namespace femtocr::spectrum

@@ -19,6 +19,7 @@
 
 #include "spectrum/markov_channel.h"
 #include "spectrum/sensing.h"
+#include "util/units.h"
 
 namespace femtocr::spectrum {
 
@@ -30,20 +31,20 @@ class BeliefTracker {
   std::size_t size() const { return params_.size(); }
 
   /// One-step prediction for channel m (before this slot's reports).
-  double predicted_idle(std::size_t m) const;
+  util::Prob predicted_idle(std::size_t m) const;
 
   /// Advances all channels one slot: prediction becomes the new prior.
   void predict();
 
   /// Folds this slot's sensing reports for channel m into the belief
   /// (call after predict()). Returns the posterior idle probability.
-  double update(std::size_t m, const std::vector<SensingReport>& reports);
+  util::Prob update(std::size_t m, const std::vector<SensingReport>& reports);
 
   /// Current belief (posterior if update() ran this slot).
-  double belief(std::size_t m) const;
+  util::Prob belief(std::size_t m) const;
 
   /// Stationary idle probability of channel m (the paper's static prior).
-  double stationary_idle(std::size_t m) const;
+  util::Prob stationary_idle(std::size_t m) const;
 
  private:
   std::vector<MarkovParams> params_;

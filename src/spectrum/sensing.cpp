@@ -55,42 +55,50 @@ int SensorModel::sense(bool busy, util::Rng& rng) const {
   return 0;
 }
 
-double posterior_idle_single(double eta, const SensingReport& report) {
-  FEMTOCR_CHECK(eta >= 0.0 && eta < 1.0, "prior utilization must be in [0,1)");
+util::Prob posterior_idle_single(util::Prob eta, const SensingReport& report) {
+  const double eta_v = eta.value();
+  FEMTOCR_CHECK(eta_v >= 0.0 && eta_v < 1.0,
+                "prior utilization must be in [0,1)");
   FEMTOCR_CHECK(report.theta == 0 || report.theta == 1,
                 "sensing report must be binary");
   // Eq. (3): P^A = [1 + eta/(1-eta) * ratio]^{-1}.
-  const double odds = eta / (1.0 - eta) * busy_to_idle_likelihood_ratio(report);
+  const double odds =
+      eta_v / (1.0 - eta_v) * busy_to_idle_likelihood_ratio(report);
   const double posterior = 1.0 / (1.0 + odds);
   FEMTOCR_DCHECK_PROB(posterior, "single-report posterior left [0, 1]");
-  return posterior;
+  return util::Prob{posterior};
 }
 
-double posterior_idle_update(double prev, const SensingReport& report) {
-  FEMTOCR_CHECK(prev > 0.0 && prev <= 1.0,
+util::Prob posterior_idle_update(util::Prob prev, const SensingReport& report) {
+  const double prev_v = prev.value();
+  FEMTOCR_CHECK(prev_v > 0.0 && prev_v <= 1.0,
                 "previous posterior must lie in (0,1]");
   FEMTOCR_CHECK(report.theta == 0 || report.theta == 1,
                 "sensing report must be binary");
   // Eq. (4): fold one more likelihood ratio into the busy:idle odds.
-  const double odds = (1.0 / prev - 1.0) * busy_to_idle_likelihood_ratio(report);
-  return 1.0 / (1.0 + odds);
+  const double odds =
+      (1.0 / prev_v - 1.0) * busy_to_idle_likelihood_ratio(report);
+  return util::Prob{1.0 / (1.0 + odds)};
 }
 
-double posterior_idle(double eta, const std::vector<SensingReport>& reports) {
-  FEMTOCR_CHECK(eta >= 0.0 && eta < 1.0, "prior utilization must be in [0,1)");
+util::Prob posterior_idle(util::Prob eta,
+                          const std::vector<SensingReport>& reports) {
+  const double eta_v = eta.value();
+  FEMTOCR_CHECK(eta_v >= 0.0 && eta_v < 1.0,
+                "prior utilization must be in [0,1)");
   // Eq. (2) in odds form: busy:idle odds = eta/(1-eta) * prod ratios.
-  double odds = eta / (1.0 - eta);
+  double odds = eta_v / (1.0 - eta_v);
   for (const auto& r : reports) {
     FEMTOCR_CHECK(r.theta == 0 || r.theta == 1, "sensing report must be binary");
     odds *= busy_to_idle_likelihood_ratio(r);
   }
   const double posterior = 1.0 / (1.0 + odds);
   FEMTOCR_DCHECK_PROB(posterior, "fused posterior left [0, 1]");
-  return posterior;
+  return util::Prob{posterior};
 }
 
-double posterior_idle(double eta, const SensorModel& model,
-                      const std::vector<int>& thetas) {
+util::Prob posterior_idle(util::Prob eta, const SensorModel& model,
+                          const std::vector<int>& thetas) {
   std::vector<SensingReport> reports;
   reports.reserve(thetas.size());
   for (int theta : thetas) reports.push_back({theta, model});

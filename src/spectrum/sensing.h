@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace femtocr::spectrum {
 
@@ -37,18 +38,19 @@ struct SensingReport {
 
 /// Posterior probability that the channel is idle given one report —
 /// Eq. (3), with prior utilization eta.
-double posterior_idle_single(double eta, const SensingReport& report);
+util::Prob posterior_idle_single(util::Prob eta, const SensingReport& report);
 
 /// Iterative update of the posterior given one more report — Eq. (4).
 /// `prev` is P^A after the earlier reports; returns P^A after this one.
-double posterior_idle_update(double prev, const SensingReport& report);
+util::Prob posterior_idle_update(util::Prob prev, const SensingReport& report);
 
 /// Closed-form posterior from a batch of reports — Eq. (2). Equals folding
 /// posterior_idle_update over the reports starting from the prior.
-double posterior_idle(double eta, const std::vector<SensingReport>& reports);
+util::Prob posterior_idle(util::Prob eta,
+                          const std::vector<SensingReport>& reports);
 
 /// Convenience: fuse homogeneous reports (all sensors share `model`).
-double posterior_idle(double eta, const SensorModel& model,
-                      const std::vector<int>& thetas);
+util::Prob posterior_idle(util::Prob eta, const SensorModel& model,
+                          const std::vector<int>& thetas);
 
 }  // namespace femtocr::spectrum

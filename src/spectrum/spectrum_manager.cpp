@@ -126,10 +126,11 @@ SlotObservation SpectrumManager::observe_slot(std::size_t slot_index,
     // tracking the prior is the one-step Markov prediction of last slot's
     // posterior; otherwise the paper's stationary 1 - eta.
     if (config_.track_beliefs) {
-      obs.posteriors[m] = beliefs_.update(m, reports);
+      obs.posteriors[m] = beliefs_.update(m, reports).value();
     } else {
       obs.posteriors[m] =
-          posterior_idle(primary_.params(m).utilization(), reports);
+          posterior_idle(util::Prob{primary_.params(m).utilization()}, reports)
+              .value();
     }
   }
 

@@ -3,12 +3,19 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <string_view>
+
+#include "util/thread_annotations.h"
 
 namespace femtocr::util {
 
 namespace {
+
+/// Serializes the stderr sink: replication workers may log concurrently
+/// and a torn line would make failures undiagnosable. The capability
+/// guards the stream insertion below — std::cerr itself cannot carry a
+/// GUARDED_BY, so the MutexLock scope is the whole annotated story.
+Mutex g_sink_mutex;
 
 /// Sentinel for "not yet resolved from the environment". Same precedence
 /// style as FEMTOCR_THREADS: an explicit set_log_level() wins, else the
@@ -63,10 +70,7 @@ LogLevel log_level() { return resolve_level(); }
 void log_line(LogLevel level, const std::string& msg) {
   const LogLevel threshold = resolve_level();
   if (level < threshold || threshold == LogLevel::kOff) return;
-  // Serialize the sink: replication workers may log concurrently and a
-  // torn line would make failures undiagnosable.
-  static std::mutex sink_mutex;
-  std::lock_guard<std::mutex> lock(sink_mutex);
+  MutexLock lock(g_sink_mutex);
   // The logger is the one sanctioned console sink in the library.
   std::cerr << '[' << level_name(level) << "] " << msg << '\n';  // lint-allow: no-stdio
 }

@@ -6,13 +6,13 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string_view>
 
 #include "util/args.h"
 #include "util/log.h"
 #include "util/parallel.h"
+#include "util/thread_annotations.h"
 
 namespace femtocr::util {
 
@@ -222,11 +222,19 @@ void TimerStat::reset() {
 // --------------------------------------------------------------- registry ----
 
 struct MetricsRegistry::Impl {
-  mutable std::mutex mutex;
+  // Guards the registration maps only: the metric objects themselves are
+  // sharded-atomic and written lock-free from the hot paths. References
+  // handed out by the maps stay valid for the process lifetime (values
+  // are never erased), so holding the lock across add()/observe() is
+  // neither needed nor allowed on the hot path.
+  mutable Mutex mutex;
   // Ordered maps so snapshot()/JSON iterate name-sorted without a re-sort.
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
-  std::map<std::string, std::unique_ptr<TimerStat>> timers;
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      FEMTOCR_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      FEMTOCR_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<TimerStat>> timers
+      FEMTOCR_GUARDED_BY(mutex);
 };
 
 MetricsRegistry::Impl& MetricsRegistry::impl() const {
@@ -243,7 +251,7 @@ MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   auto& slot = im.counters[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -251,7 +259,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   auto& slot = im.histograms[name];
   if (!slot) {
     slot = std::make_unique<Histogram>();
@@ -262,7 +270,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 
 TimerStat& MetricsRegistry::timer(const std::string& name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   auto& slot = im.timers[name];
   if (!slot) slot = std::make_unique<TimerStat>();
   return *slot;
@@ -270,7 +278,7 @@ TimerStat& MetricsRegistry::timer(const std::string& name) {
 
 void MetricsRegistry::reset() {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   for (auto& [name, c] : im.counters) c->reset();
   for (auto& [name, h] : im.histograms) h->reset();
   for (auto& [name, t] : im.timers) t->reset();
@@ -278,7 +286,7 @@ void MetricsRegistry::reset() {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   MetricsSnapshot snap;
   snap.counters.reserve(im.counters.size());
   for (const auto& [name, c] : im.counters) {

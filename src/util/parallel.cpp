@@ -51,19 +51,32 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Constructors/destructors are outside the thread-safety analysis (and
+  // outside concurrency: nobody may race the destructor), but the join
+  // still swaps the worker vector out under the lock so the shutdown
+  // handshake mirrors the annotated discipline everywhere else.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
+    workers.swap(workers_);
   }
   wake_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  for (std::thread& w : workers) w.join();
+}
+
+std::size_t ThreadPool::size() const {
+  MutexLock lock(mutex_);
+  return workers_.size() + 1;
 }
 
 void ThreadPool::ensure_size(std::size_t threads) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (workers_.size() + 1 >= threads) return;
   // Grow only between jobs: workers_ must not be mutated mid-dispatch.
-  done_.wait(lock, [&] { return fn_ == nullptr; });
+  // Explicit predicate loop (not a wait lambda): the analysis cannot look
+  // into a lambda body, but it tracks guarded reads in this scope fine.
+  while (fn_ != nullptr) done_.wait(mutex_);
   while (workers_.size() + 1 < threads) {
     workers_.emplace_back(&ThreadPool::worker_loop, this);
   }
@@ -71,20 +84,23 @@ void ThreadPool::ensure_size(std::size_t threads) {
 
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.lock();
   for (;;) {
-    wake_.wait(lock, [&] {
-      return stop_ || (fn_ != nullptr && job_id_ != seen && slots_ > 0);
-    });
-    if (stop_) return;
+    while (!stop_ && !(fn_ != nullptr && job_id_ != seen && slots_ > 0)) {
+      wake_.wait(mutex_);
+    }
+    if (stop_) {
+      mutex_.unlock();
+      return;
+    }
     seen = job_id_;
     --slots_;
     ++active_;
     const std::function<void(std::size_t)>& fn = *fn_;
     const std::size_t n = n_;
-    lock.unlock();
+    mutex_.unlock();
     run_indices(fn, n);
-    lock.lock();
+    mutex_.lock();
     --active_;
     if (active_ == 0) done_.notify_all();
   }
@@ -99,7 +115,7 @@ void ThreadPool::run_indices(const std::function<void(std::size_t)>& fn,
     try {
       fn(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!error_) error_ = std::current_exception();
       // Abandon the remaining indices so the job drains quickly.
       next_.store(n, std::memory_order_relaxed);
@@ -110,36 +126,45 @@ void ThreadPool::run_indices(const std::function<void(std::size_t)>& fn,
 void ThreadPool::for_each(std::size_t n, std::size_t max_threads,
                           const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (max_threads <= 1 || n == 1 || workers_.empty() || t_in_job) {
-    // Inline path: trivial jobs, a pool with no workers, or a nested call
-    // from inside a running job (joining the pool again would deadlock).
+  if (max_threads <= 1 || n == 1 || t_in_job) {
+    // Inline path: trivial jobs or a nested call from inside a running job
+    // (joining the pool again would deadlock).
     InJobScope scope;
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.lock();
+  if (workers_.empty()) {
+    // A pool with no workers runs everything on the caller. (The check
+    // lives under the lock now that workers_ is guarded; this path is
+    // once per job, never per index.)
+    mutex_.unlock();
+    InJobScope scope;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   // One job at a time: a second caller parks here until the pool is free.
-  done_.wait(lock, [&] { return fn_ == nullptr; });
+  while (fn_ != nullptr) done_.wait(mutex_);
   fn_ = &fn;
   n_ = n;
   next_.store(0, std::memory_order_relaxed);
   error_ = nullptr;
   slots_ = std::min(max_threads - 1, workers_.size());
   ++job_id_;
-  lock.unlock();
+  mutex_.unlock();
   wake_.notify_all();
 
   run_indices(fn, n);  // the caller is a full participant
 
-  lock.lock();
-  done_.wait(lock, [&] { return active_ == 0; });
+  mutex_.lock();
+  while (active_ != 0) done_.wait(mutex_);
   // Workers that never claimed a ticket must not join a stale job.
   slots_ = 0;
   fn_ = nullptr;
   std::exception_ptr error = error_;
   error_ = nullptr;
-  lock.unlock();
+  mutex_.unlock();
   done_.notify_all();  // unpark any caller queued behind this job
   if (error) std::rethrow_exception(error);
 }

@@ -23,14 +23,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace femtocr::util {
 
@@ -57,7 +57,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Total parallelism: workers + the participating caller.
-  std::size_t size() const { return workers_.size() + 1; }
+  std::size_t size() const;
 
   /// Runs fn(i) for every i in [0, n), across at most max_threads threads
   /// (capped by size()). Blocks until every index has run. If fn throws,
@@ -80,18 +80,24 @@ class ThreadPool {
   void run_indices(const std::function<void(std::size_t)>& fn,
                    std::size_t n);
 
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;  ///< workers wait here for a job
-  std::condition_variable done_;  ///< for_each waits here for completion
-  // Current-job state; guarded by mutex_ except the atomic cursor.
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t n_ = 0;
-  std::size_t slots_ = 0;    ///< worker participation tickets remaining
-  std::size_t active_ = 0;   ///< workers currently inside the job
-  std::uint64_t job_id_ = 0;
-  std::exception_ptr error_;
-  bool stop_ = false;
+  // All job state is FEMTOCR_GUARDED_BY(mutex_) and checked at compile
+  // time by the CI thread-safety job; only the index cursor is an atomic
+  // outside the capability (workers race on it by design, relaxed order —
+  // it decides *when* an index runs, never *what* is computed).
+  mutable Mutex mutex_;
+  CondVar wake_;  ///< workers wait here for a job
+  CondVar done_;  ///< for_each waits here for completion
+  std::vector<std::thread> workers_ FEMTOCR_GUARDED_BY(mutex_);
+  const std::function<void(std::size_t)>* fn_ FEMTOCR_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t n_ FEMTOCR_GUARDED_BY(mutex_) = 0;
+  /// Worker participation tickets remaining.
+  std::size_t slots_ FEMTOCR_GUARDED_BY(mutex_) = 0;
+  /// Workers currently inside the job.
+  std::size_t active_ FEMTOCR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t job_id_ FEMTOCR_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ FEMTOCR_GUARDED_BY(mutex_);
+  bool stop_ FEMTOCR_GUARDED_BY(mutex_) = false;
   std::atomic<std::size_t> next_{0};
 };
 

@@ -1,0 +1,148 @@
+// Clang Thread Safety Analysis vocabulary for the femtocr library.
+//
+// Two things live here:
+//
+//  1. The FEMTOCR_* annotation macros — thin wrappers over Clang's
+//     capability attributes (https://clang.llvm.org/docs/ThreadSafetyAnalysis
+//     .html). Under any non-Clang compiler (GCC builds this tree daily)
+//     every macro expands to nothing, so the annotations are zero-cost
+//     documentation locally and a hard compile gate in the CI
+//     `thread-safety` job (-DFEMTOCR_THREAD_SAFETY=ON adds
+//     -Wthread-safety -Werror=thread-safety).
+//
+//  2. The annotated synchronization types Mutex / MutexLock / CondVar.
+//     libstdc++'s std::mutex carries no capability attributes, so locking
+//     it is invisible to the analysis; these wrappers are the tree's
+//     lockable vocabulary instead. Library code never declares a raw
+//     std::mutex member (enforced by the no-unannotated-mutex lint rule):
+//     it declares a util::Mutex and marks the state it protects with
+//     FEMTOCR_GUARDED_BY so the compiler — not a 50-seed property run —
+//     rejects an unlocked access.
+//
+// Usage pattern (util/metrics.cpp, util/parallel.* are the references):
+//
+//   class Worklist {
+//     mutable util::Mutex mutex_;
+//     std::vector<Item> items_ FEMTOCR_GUARDED_BY(mutex_);
+//    public:
+//     void push(Item it) {
+//       util::MutexLock lock(mutex_);
+//       items_.push_back(std::move(it));   // OK: capability held
+//     }
+//   };
+//
+// Condition-variable waits use CondVar::wait(mutex) inside an explicit
+// while (!predicate) loop — never a predicate lambda, which the analysis
+// cannot see into (the lambda body is a separate unannotated function).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang >= 3.6 understands the capability attribute family; every other
+// compiler sees empty expansions. SWIG and doc generators also take the
+// empty branch.
+#if defined(__clang__) && !defined(SWIG)
+#define FEMTOCR_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FEMTOCR_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (a lockable resource).
+#define FEMTOCR_CAPABILITY(x) FEMTOCR_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define FEMTOCR_SCOPED_CAPABILITY FEMTOCR_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the capability.
+#define FEMTOCR_GUARDED_BY(x) FEMTOCR_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define FEMTOCR_PT_GUARDED_BY(x) FEMTOCR_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that acquires the capability and returns holding it.
+#define FEMTOCR_ACQUIRE(...) \
+  FEMTOCR_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability the caller holds.
+#define FEMTOCR_RELEASE(...) \
+  FEMTOCR_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `ret`.
+#define FEMTOCR_TRY_ACQUIRE(ret, ...) \
+  FEMTOCR_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must hold the capability across the call.
+#define FEMTOCR_REQUIRES(...) \
+  FEMTOCR_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard).
+#define FEMTOCR_EXCLUDES(...) \
+  FEMTOCR_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (no acquire/release).
+#define FEMTOCR_ASSERT_CAPABILITY(x) \
+  FEMTOCR_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returning a reference to the named capability.
+#define FEMTOCR_RETURN_CAPABILITY(x) FEMTOCR_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function body. Every use
+/// needs a comment explaining why the analysis cannot see the invariant.
+#define FEMTOCR_NO_THREAD_SAFETY_ANALYSIS \
+  FEMTOCR_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace femtocr::util {
+
+/// std::mutex with capability attributes: the analysis tracks lock() /
+/// unlock() pairing and every FEMTOCR_GUARDED_BY access. Same cost and
+/// semantics as the std::mutex it wraps.
+class FEMTOCR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FEMTOCR_ACQUIRE() { m_.lock(); }
+  void unlock() FEMTOCR_RELEASE() { m_.unlock(); }
+  bool try_lock() FEMTOCR_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock over util::Mutex — the annotated std::lock_guard equivalent
+/// (libstdc++'s guards carry no scoped_lockable attribute).
+class FEMTOCR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FEMTOCR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FEMTOCR_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on util::Mutex. wait() atomically releases
+/// and reacquires the mutex, so the caller's capability set is unchanged
+/// around the call — which is exactly what FEMTOCR_REQUIRES expresses.
+/// Callers loop explicitly:  while (!ready_) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) FEMTOCR_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any waits on any BasicLockable; the pool and the
+  // registry wait off the hot path, where its extra internal mutex hop is
+  // noise. (std::condition_variable would demand a raw std::mutex back.)
+  std::condition_variable_any cv_;
+};
+
+}  // namespace femtocr::util

@@ -1,0 +1,223 @@
+// Strong quantity types for the Eq. 5–23 pipeline (header-only).
+//
+// The paper's math moves constantly between decibels, linear power ratios,
+// probabilities and rates; a unit mix-up (feeding a dB PSNR where a linear
+// SINR belongs, or a posterior where a rate belongs) produces plausible
+// numbers and silently wrong figures. These wrappers make every such mix a
+// *compile error* while costing nothing at runtime: each type is exactly
+// one double (static_asserts below), construction and access are trivial,
+// and every conversion is the same arithmetic expression the tree used
+// before wrapping — so the fig3/fig4b golden stdout is byte-identical with
+// the wrappers deployed (that identity is the zero-cost proof, gated in
+// ctest and CI).
+//
+// Rules of the vocabulary:
+//
+//  * Construction is explicit, conversion out is explicit (.value()); no
+//    implicit path exists in either direction, so `Db + LinearGain` and
+//    `double p = prob` both fail to compile (pinned by the try_compile
+//    negative tests in tests/units_negative/).
+//  * Each physical conversion has ONE definition, here: dB <-> linear goes
+//    through to_db()/to_linear(), probabilities complement through
+//    complement(), dBm <-> watts through to_dbm()/watts_from_dbm().
+//    Layer ownership is documented in docs/DEVELOPING.md ("Quantity types
+//    & unit discipline").
+//  * Only unit-preserving arithmetic is defined per type (dB gains stack
+//    additively, linear gains multiplicatively, probabilities of
+//    independent events multiply); anything else must unwrap explicitly,
+//    which is the reviewer's cue to look hard at the line.
+//  * The wrappers carry no range contracts of their own — tests build
+//    deliberately-invalid values to exercise downstream FEMTOCR_CHECK_*
+//    guards. checked_prob() is the validating entry point when a raw
+//    double crosses into probability land.
+#pragma once
+
+#include <cmath>
+#include <type_traits>
+
+#include "util/check.h"
+
+namespace femtocr::util {
+
+namespace units_detail {
+
+/// CRTP base: one double, explicit in, explicit out, ordered within the
+/// same derived type only. Derived types add their unit-preserving ops.
+template <class Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  /// The raw double — the ONLY way out of the type system.
+  constexpr double value() const { return v_; }
+
+  friend constexpr bool operator==(const Derived& a, const Derived& b) {
+    return a.value() == b.value();
+  }
+  friend constexpr bool operator!=(const Derived& a, const Derived& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const Derived& a, const Derived& b) {
+    return a.value() < b.value();
+  }
+  friend constexpr bool operator<=(const Derived& a, const Derived& b) {
+    return a.value() <= b.value();
+  }
+  friend constexpr bool operator>(const Derived& a, const Derived& b) {
+    return a.value() > b.value();
+  }
+  friend constexpr bool operator>=(const Derived& a, const Derived& b) {
+    return a.value() >= b.value();
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Mixin for quantities that add and scale (dB, watts, hertz, rates):
+/// same-type +/- and scalar *// keep the unit; cross-type ops don't exist.
+template <class Derived>
+class Additive : public Quantity<Derived> {
+ public:
+  using Quantity<Derived>::Quantity;
+
+  friend constexpr Derived operator+(const Derived& a, const Derived& b) {
+    return Derived{a.value() + b.value()};
+  }
+  friend constexpr Derived operator-(const Derived& a, const Derived& b) {
+    return Derived{a.value() - b.value()};
+  }
+  friend constexpr Derived operator*(const Derived& a, double s) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator*(double s, const Derived& a) {
+    return Derived{s * a.value()};
+  }
+  friend constexpr Derived operator/(const Derived& a, double s) {
+    return Derived{a.value() / s};
+  }
+};
+
+}  // namespace units_detail
+
+/// A decibel quantity: PSNR, SINR-in-dB, gains/losses in dB. Adding two Db
+/// stacks gains; there is deliberately no Db * Db.
+class Db : public units_detail::Additive<Db> {
+ public:
+  using units_detail::Additive<Db>::Additive;
+};
+
+/// A dimensionless linear power ratio: linear SINR/SNR, channel gains.
+/// Gains compose multiplicatively, so * and / stay in-unit (on top of the
+/// additive mixin's +/- for summing powers expressed as ratios).
+class LinearGain : public units_detail::Additive<LinearGain> {
+ public:
+  using units_detail::Additive<LinearGain>::Additive;
+
+  friend constexpr LinearGain operator*(const LinearGain& a,
+                                        const LinearGain& b) {
+    return LinearGain{a.value() * b.value()};
+  }
+  friend constexpr LinearGain operator/(const LinearGain& a,
+                                        const LinearGain& b) {
+    return LinearGain{a.value() / b.value()};
+  }
+};
+
+/// Transmit/received power in watts.
+class Watts : public units_detail::Additive<Watts> {
+ public:
+  using units_detail::Additive<Watts>::Additive;
+};
+
+/// Bandwidth / frequency in hertz.
+class Hertz : public units_detail::Additive<Hertz> {
+ public:
+  using units_detail::Additive<Hertz>::Additive;
+};
+
+/// Video/data rate in megabits per second (the paper quotes all sequence
+/// and channel rates in Mbps).
+class Mbps : public units_detail::Additive<Mbps> {
+ public:
+  using units_detail::Additive<Mbps>::Additive;
+};
+
+/// Bits deliverable within one scheduling slot (rate integrated over the
+/// slot): the unit the per-slot program's budgets live in.
+class BitsPerSlot : public units_detail::Additive<BitsPerSlot> {
+ public:
+  using units_detail::Additive<BitsPerSlot>::Additive;
+};
+
+/// A probability. No additive arithmetic (p + q is rarely a probability);
+/// * composes independent events, complement() gives 1 - p.
+class Prob : public units_detail::Quantity<Prob> {
+ public:
+  using units_detail::Quantity<Prob>::Quantity;
+
+  friend constexpr Prob operator*(const Prob& a, const Prob& b) {
+    return Prob{a.value() * b.value()};
+  }
+};
+
+// ------------------------------------------------------------ conversions ----
+// Single definition each. Every expression below is byte-for-byte the
+// arithmetic the call sites used before the wrappers landed — bit-exactness
+// is pinned by tests/test_units.cpp and the figure goldens.
+
+/// dB -> linear power ratio: 10^(x/10).
+inline LinearGain to_linear(Db db) {
+  return LinearGain{std::pow(10.0, db.value() / 10.0)};
+}
+
+/// Linear power ratio -> dB: 10 log10(g).
+inline Db to_db(LinearGain g) { return Db{10.0 * std::log10(g.value())}; }
+
+/// 1 - p.
+constexpr Prob complement(Prob p) { return Prob{1.0 - p.value()}; }
+
+/// Power -> dBm (dB relative to 1 mW).
+inline Db to_dbm(Watts w) { return Db{10.0 * std::log10(w.value() * 1e3)}; }
+
+/// dBm -> power in watts.
+inline Watts watts_from_dbm(Db dbm) {
+  return Watts{std::pow(10.0, dbm.value() / 10.0) * 1e-3};
+}
+
+/// Rate sustained for `slot_seconds` -> bits delivered in the slot.
+constexpr BitsPerSlot bits_per_slot(Mbps rate, double slot_seconds) {
+  return BitsPerSlot{rate.value() * 1e6 * slot_seconds};
+}
+
+/// Bits in a slot of `slot_seconds` -> the sustaining rate.
+constexpr Mbps mbps_from_bits(BitsPerSlot bits, double slot_seconds) {
+  return Mbps{bits.value() / (1e6 * slot_seconds)};
+}
+
+/// Validating entry point for raw doubles crossing into probability land
+/// (sensor fusion outputs, config files): contract-checked, then wrapped.
+inline Prob checked_prob(double v, const char* what) {
+  FEMTOCR_CHECK_PROB(v, what);
+  return Prob{v};
+}
+
+// Zero-cost proof: every wrapper is exactly one double, trivially copyable,
+// so it passes and returns in the same registers the raw double used.
+static_assert(sizeof(Db) == sizeof(double));
+static_assert(sizeof(LinearGain) == sizeof(double));
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(sizeof(Hertz) == sizeof(double));
+static_assert(sizeof(Mbps) == sizeof(double));
+static_assert(sizeof(BitsPerSlot) == sizeof(double));
+static_assert(sizeof(Prob) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Db> &&
+              std::is_trivially_copyable_v<LinearGain> &&
+              std::is_trivially_copyable_v<Watts> &&
+              std::is_trivially_copyable_v<Hertz> &&
+              std::is_trivially_copyable_v<Mbps> &&
+              std::is_trivially_copyable_v<BitsPerSlot> &&
+              std::is_trivially_copyable_v<Prob>);
+
+}  // namespace femtocr::util

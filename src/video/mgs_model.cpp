@@ -13,15 +13,22 @@ void MgsVideo::validate() const {
   FEMTOCR_CHECK(max_rate > 0.0, "saturation rate must be positive");
 }
 
-double MgsVideo::psnr(double rate_mbps) const {
-  const double r = std::clamp(rate_mbps, 0.0, max_rate);
-  return alpha + beta * r;
+util::Db MgsVideo::psnr(util::Mbps rate) const {
+  // A NaN rate would sail through std::clamp (whose behaviour on NaN is
+  // unspecified) and poison the PSNR average silently; reject it here.
+  FEMTOCR_CHECK_FINITE(rate.value(), "MGS rate must be finite");
+  const double r = std::clamp(rate.value(), 0.0, max_rate);
+  return util::Db{alpha + beta * r};
 }
 
-double MgsVideo::rate_for_psnr(double target_db) const {
-  if (beta <= 0.0) return 0.0;
-  const double r = (target_db - alpha) / beta;
-  return std::clamp(r, 0.0, max_rate);
+util::Mbps MgsVideo::rate_for_psnr(util::Db target) const {
+  FEMTOCR_CHECK_FINITE(target.value(), "target PSNR must be finite");
+  if (beta <= 0.0) return util::Mbps{0.0};
+  const double r = std::clamp((target.value() - alpha) / beta, 0.0, max_rate);
+  // Contract on the planning output: below-alpha targets clamp to zero, so
+  // a caller budgeting `sum of planned rates` can never go negative.
+  FEMTOCR_CHECK_GE(r, 0.0, "planned MGS rate left [0, max_rate]");
+  return util::Mbps{r};
 }
 
 const std::vector<MgsVideo>& standard_catalogue() {

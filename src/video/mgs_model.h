@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/units.h"
+
 namespace femtocr::video {
 
 /// Linear MGS rate-quality model for one encoded sequence.
@@ -25,12 +27,15 @@ struct MgsVideo {
 
   void validate() const;
 
-  /// W(R) = alpha + beta * min(R, max_rate); R in Mbps, result in dB.
-  double psnr(double rate_mbps) const;
+  /// W(R) = alpha + beta * min(R, max_rate). Rejects non-finite rates;
+  /// negative rates clamp to the base layer (rate 0) as before.
+  util::Db psnr(util::Mbps rate) const;
 
   /// Inverse model: the rate needed to reach a target PSNR (clamped to
-  /// [0, max_rate]); useful for rate-budget planning in examples.
-  double rate_for_psnr(double target_db) const;
+  /// [0, max_rate]); useful for rate-budget planning in examples. Targets
+  /// below alpha (already met by the base layer) plan zero enhancement
+  /// rate, never a negative one; non-finite targets are rejected.
+  util::Mbps rate_for_psnr(util::Db target) const;
 };
 
 /// The three CIF sequences the paper streams (Bus, Mobile, Harbor) plus a

@@ -2,6 +2,7 @@
 
 #include "util/check.h"
 #include "util/stats.h"
+#include "util/units.h"
 
 namespace femtocr::video {
 
@@ -47,7 +48,7 @@ void PacketStream::end_slot(std::size_t t) {
 }
 
 double PacketStream::current_psnr() const {
-  return packetizer_.video().psnr(delivered_rate_);
+  return packetizer_.video().psnr(util::Mbps{delivered_rate_}).value();
 }
 
 std::size_t PacketStream::delivered_units() const { return next_; }

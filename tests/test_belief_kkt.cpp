@@ -18,15 +18,15 @@ namespace {
 
 TEST(Belief, StartsAtStationary) {
   spectrum::BeliefTracker t({{0.4, 0.3}, {0.1, 0.9}});
-  EXPECT_NEAR(t.belief(0), 1.0 - 0.4 / 0.7, 1e-12);
-  EXPECT_NEAR(t.belief(1), 0.9, 1e-12);
-  EXPECT_DOUBLE_EQ(t.belief(0), t.stationary_idle(0));
+  EXPECT_NEAR(t.belief(0).value(), 1.0 - 0.4 / 0.7, 1e-12);
+  EXPECT_NEAR(t.belief(1).value(), 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(t.belief(0).value(), t.stationary_idle(0).value());
 }
 
 TEST(Belief, StationaryIsAFixedPointOfPrediction) {
   spectrum::BeliefTracker t({{0.4, 0.3}});
   for (int i = 0; i < 50; ++i) t.predict();
-  EXPECT_NEAR(t.belief(0), t.stationary_idle(0), 1e-12);
+  EXPECT_NEAR(t.belief(0).value(), t.stationary_idle(0).value(), 1e-12);
 }
 
 TEST(Belief, PredictionAppliesTheTransitionMatrix) {
@@ -34,22 +34,22 @@ TEST(Belief, PredictionAppliesTheTransitionMatrix) {
   const spectrum::SensorModel perfect{0.0, 0.0};
   // A perfect idle report pins the belief at 1.
   t.update(0, {{0, perfect}});
-  EXPECT_NEAR(t.belief(0), 1.0, 1e-9);
+  EXPECT_NEAR(t.belief(0).value(), 1.0, 1e-9);
   // One step: Pr{idle} = 1 * (1 - P01) = 0.8.
   t.predict();
-  EXPECT_NEAR(t.belief(0), 0.8, 1e-9);
+  EXPECT_NEAR(t.belief(0).value(), 0.8, 1e-9);
   // Another: 0.8 * 0.8 + 0.2 * 0.1 = 0.66.
   t.predict();
-  EXPECT_NEAR(t.belief(0), 0.66, 1e-9);
+  EXPECT_NEAR(t.belief(0).value(), 0.66, 1e-9);
 }
 
 TEST(Belief, UnsensedChannelRelaxesTowardStationary) {
   spectrum::BeliefTracker t({{0.3, 0.6}});
   const spectrum::SensorModel perfect{0.0, 0.0};
   t.update(0, {{1, perfect}});  // certainly busy
-  EXPECT_NEAR(t.belief(0), 0.0, 1e-9);
+  EXPECT_NEAR(t.belief(0).value(), 0.0, 1e-9);
   for (int i = 0; i < 200; ++i) t.predict();
-  EXPECT_NEAR(t.belief(0), t.stationary_idle(0), 1e-9);
+  EXPECT_NEAR(t.belief(0).value(), t.stationary_idle(0).value(), 1e-9);
 }
 
 TEST(Belief, StickyChannelsKeepInformationAcrossSlots) {
@@ -59,8 +59,8 @@ TEST(Belief, StickyChannelsKeepInformationAcrossSlots) {
   const spectrum::SensorModel good{0.05, 0.05};
   t.update(0, {{1, good}});
   t.predict();
-  EXPECT_LT(t.belief(0), 0.15);              // still almost surely busy
-  EXPECT_NEAR(t.stationary_idle(0), 0.5, 1e-12);  // static prior: coin flip
+  EXPECT_LT(t.belief(0).value(), 0.15);              // still almost surely busy
+  EXPECT_NEAR(t.stationary_idle(0).value(), 0.5, 1e-12);  // static prior: coin flip
 }
 
 TEST(Belief, TrackedPosteriorsAreBetterCalibratedOnStickyChains) {

@@ -126,8 +126,8 @@ TEST(Topology, LinksPointAtTheRightStations) {
   EXPECT_NEAR(t.mbs_link(0).distance(), 55.0, 1e-9);
   EXPECT_NEAR(t.fbs_link(0).distance(), 5.0, 1e-9);
   // Femto link must be far more reliable at these ranges.
-  EXPECT_LT(t.fbs_link(0).loss_probability(),
-            t.mbs_link(0).loss_probability());
+  EXPECT_LT(t.fbs_link(0).loss_probability().value(),
+            t.mbs_link(0).loss_probability().value());
 }
 
 TEST(Topology, CoverageDerivedGraphSeparateCells) {

@@ -80,21 +80,21 @@ TEST(Geometry, RandomLayoutBounds) {
 
 TEST(PathLoss, ReferencePoint) {
   const PathLossModel m{1.0, 1000.0, 3.0};
-  EXPECT_DOUBLE_EQ(m.mean_snr(1.0), 1000.0);
-  EXPECT_NEAR(m.mean_snr_db(1.0), 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.mean_snr(1.0).value(), 1000.0);
+  EXPECT_NEAR(m.mean_snr_db(1.0).value(), 30.0, 1e-9);
 }
 
 TEST(PathLoss, PowerLawDecay) {
   const PathLossModel m{1.0, 1000.0, 3.0};
-  EXPECT_NEAR(m.mean_snr(10.0), 1.0, 1e-9);          // 10^3 attenuation
-  EXPECT_NEAR(m.mean_snr(2.0), 125.0, 1e-9);         // 2^3
+  EXPECT_NEAR(m.mean_snr(10.0).value(), 1.0, 1e-9);          // 10^3 attenuation
+  EXPECT_NEAR(m.mean_snr(2.0).value(), 125.0, 1e-9);         // 2^3
 }
 
 TEST(PathLoss, MonotoneDecreasing) {
   const PathLossModel m{1.0, 5.0e7, 3.2};
-  double prev = m.mean_snr(1.0);
+  double prev = m.mean_snr(1.0).value();
   for (double d = 2.0; d <= 200.0; d += 2.0) {
-    const double cur = m.mean_snr(d);
+    const double cur = m.mean_snr(d).value();
     EXPECT_LT(cur, prev);
     prev = cur;
   }
@@ -102,8 +102,8 @@ TEST(PathLoss, MonotoneDecreasing) {
 
 TEST(PathLoss, NearFieldClamp) {
   const PathLossModel m{1.0, 1000.0, 3.0};
-  EXPECT_DOUBLE_EQ(m.mean_snr(0.1), 1000.0);  // clamped to d0
-  EXPECT_DOUBLE_EQ(m.mean_snr(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(m.mean_snr(0.1).value(), 1000.0);  // clamped to d0
+  EXPECT_DOUBLE_EQ(m.mean_snr(0.0).value(), 1000.0);
 }
 
 TEST(PathLoss, Validation) {
@@ -116,13 +116,16 @@ TEST(PathLoss, Validation) {
 
 TEST(Fading, OutageFormula) {
   // Eq. (8) for exponential SINR: P^F = 1 - exp(-H/mean).
-  EXPECT_NEAR(exponential_outage(10.0, 5.0), 1.0 - std::exp(-0.5), 1e-12);
-  EXPECT_DOUBLE_EQ(exponential_outage(10.0, 0.0), 0.0);
+  EXPECT_NEAR(exponential_outage(util::LinearGain{10.0}, util::LinearGain{5.0}).value(),
+              1.0 - std::exp(-0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(
+      exponential_outage(util::LinearGain{10.0}, util::LinearGain{0.0}).value(),
+      0.0);
 }
 
 TEST(Fading, OutageMonotoneInThresholdAndMean) {
-  EXPECT_LT(exponential_outage(10.0, 1.0), exponential_outage(10.0, 2.0));
-  EXPECT_GT(exponential_outage(5.0, 3.0), exponential_outage(50.0, 3.0));
+  EXPECT_LT(exponential_outage(util::LinearGain{10.0}, util::LinearGain{1.0}), exponential_outage(util::LinearGain{10.0}, util::LinearGain{2.0}));
+  EXPECT_GT(exponential_outage(util::LinearGain{5.0}, util::LinearGain{3.0}), exponential_outage(util::LinearGain{50.0}, util::LinearGain{3.0}));
 }
 
 TEST(Fading, DrawSuccessFrequencyMatchesFormula) {
@@ -131,7 +134,8 @@ TEST(Fading, DrawSuccessFrequencyMatchesFormula) {
   int ok = 0;
   const int n = 100000;
   for (int i = 0; i < n; ++i) ok += f.draw_success(rng) ? 1 : 0;
-  EXPECT_NEAR(ok / static_cast<double>(n), f.success_probability(), 0.005);
+  EXPECT_NEAR(ok / static_cast<double>(n), f.success_probability().value(),
+              0.005);
 }
 
 TEST(Fading, DrawSinrHasConfiguredMean) {
@@ -145,7 +149,7 @@ TEST(Fading, DrawSinrHasConfiguredMean) {
 TEST(Fading, Validation) {
   EXPECT_THROW((RayleighBlockFading{0.0, 5.0}.validate()), std::logic_error);
   EXPECT_THROW((RayleighBlockFading{10.0, -1.0}.validate()), std::logic_error);
-  EXPECT_THROW(exponential_outage(-1.0, 5.0), std::logic_error);
+  EXPECT_THROW(exponential_outage(util::LinearGain{-1.0}, util::LinearGain{5.0}), std::logic_error);
 }
 
 // --------------------------------------------------------------- Link ----
@@ -154,17 +158,18 @@ TEST(Link, ComposesPathLossAndFading) {
   const PathLossModel pl{1.0, 1000.0, 3.0};
   const Link link({0, 0}, {10, 0}, pl, 0.5);
   EXPECT_DOUBLE_EQ(link.distance(), 10.0);
-  EXPECT_NEAR(link.mean_snr(), 1.0, 1e-9);
-  EXPECT_NEAR(link.loss_probability(), 1.0 - std::exp(-0.5), 1e-9);
-  EXPECT_NEAR(link.success_probability() + link.loss_probability(), 1.0,
-              1e-12);
+  EXPECT_NEAR(link.mean_snr().value(), 1.0, 1e-9);
+  EXPECT_NEAR(link.loss_probability().value(), 1.0 - std::exp(-0.5), 1e-9);
+  EXPECT_NEAR(link.success_probability().value() +
+                  link.loss_probability().value(),
+              1.0, 1e-12);
 }
 
 TEST(Link, CloserIsBetter) {
   const PathLossModel pl{1.0, 1.0e5, 3.0};
   const Link near_link({0, 0}, {5, 0}, pl, 5.0);
   const Link far_link({0, 0}, {15, 0}, pl, 5.0);
-  EXPECT_LT(near_link.loss_probability(), far_link.loss_probability());
+  EXPECT_LT(near_link.loss_probability(), far_link.loss_probability()); 
 }
 
 }  // namespace

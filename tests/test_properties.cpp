@@ -142,14 +142,18 @@ TEST_P(SeededProperty, SensingFusionOrderInvariant) {
     spectrum::SensorModel s{rng.uniform(0.05, 0.45), rng.uniform(0.05, 0.45)};
     reports.push_back({rng.bernoulli(0.5) ? 1 : 0, s});
   }
-  const double forward = spectrum::posterior_idle(eta, reports);
+  const double forward =
+      spectrum::posterior_idle(util::Prob{eta}, reports).value();
   std::vector<spectrum::SensingReport> reversed(reports.rbegin(),
                                                 reports.rend());
-  EXPECT_NEAR(forward, spectrum::posterior_idle(eta, reversed), 1e-12);
+  EXPECT_NEAR(forward,
+              spectrum::posterior_idle(util::Prob{eta}, reversed).value(),
+              1e-12);
   // And the iterative recursion agrees with the batch form.
   double iterative = 1.0 - eta;
   for (const auto& r : reports) {
-    iterative = spectrum::posterior_idle_update(iterative, r);
+    iterative =
+        spectrum::posterior_idle_update(util::Prob{iterative}, r).value();
   }
   EXPECT_NEAR(forward, iterative, 1e-12);
 }
@@ -159,7 +163,9 @@ TEST_P(SeededProperty, CollisionConstraintEq6) {
   for (int i = 0; i < 100; ++i) {
     const double pa = rng.uniform();
     const double gamma = rng.uniform();
-    const double pd = spectrum::access_probability(pa, gamma);
+    const double pd =
+        spectrum::access_probability(util::Prob{pa}, util::Prob{gamma})
+            .value();
     EXPECT_LE((1.0 - pa) * pd, gamma + 1e-12);
     EXPECT_GE(pd, 0.0);
     EXPECT_LE(pd, 1.0);
@@ -225,7 +231,8 @@ TEST_P(SeededProperty, SensingPosteriorIsCalibrated) {
     const bool busy = rng.bernoulli(eta);
     const std::vector<int> thetas = {sensor.sense(busy, rng),
                                      sensor.sense(busy, rng)};
-    posterior.add(spectrum::posterior_idle(eta, sensor, thetas));
+    posterior.add(
+        spectrum::posterior_idle(util::Prob{eta}, sensor, thetas).value());
   }
   EXPECT_NEAR(posterior.mean(), 1.0 - eta, 0.02);
 }

@@ -51,8 +51,8 @@ TEST(Fig1Scenario, GreedyWithinHalfOfOptimumAsThePaperStates) {
     for (std::size_t j = 0; j < topo.num_users(); ++j) {
       core::UserState u;
       u.psnr = rng.uniform(28.0, 40.0);
-      u.success_mbs = topo.mbs_link(j).success_probability();
-      u.success_fbs = topo.fbs_link(j).success_probability();
+      u.set_link_success(topo.mbs_link(j).success_probability(),
+                         topo.fbs_link(j).success_probability());
       u.rate_mbs = rng.uniform(0.45, 0.7);
       u.rate_fbs = rng.uniform(0.45, 0.7);
       u.fbs = topo.user(j).fbs;

@@ -15,6 +15,8 @@
 namespace femtocr::spectrum {
 namespace {
 
+using util::Prob;
+
 // ------------------------------------------------------------- Markov ----
 
 TEST(MarkovParams, UtilizationFormula) {
@@ -99,7 +101,7 @@ TEST(Sensing, SensorErrorFrequencies) {
 }
 
 TEST(Sensing, PosteriorWithNoReportsIsPrior) {
-  EXPECT_NEAR(posterior_idle(0.4, {}), 0.6, 1e-12);
+  EXPECT_NEAR(posterior_idle(Prob{0.4}, {}).value(), 0.6, 1e-12);
 }
 
 TEST(Sensing, SingleReportMatchesEq3) {
@@ -108,11 +110,11 @@ TEST(Sensing, SingleReportMatchesEq3) {
   // Eq. (3), theta = 0: [1 + eta/(1-eta) * delta/(1-eps)]^-1.
   const double expect_idle =
       1.0 / (1.0 + (0.4 / 0.6) * (0.3 / 0.7));
-  EXPECT_NEAR(posterior_idle_single(eta, {0, s}), expect_idle, 1e-12);
+  EXPECT_NEAR(posterior_idle_single(Prob{eta}, {0, s}).value(), expect_idle, 1e-12);
   // theta = 1: ratio (1-delta)/eps.
   const double expect_busy =
       1.0 / (1.0 + (0.4 / 0.6) * (0.7 / 0.3));
-  EXPECT_NEAR(posterior_idle_single(eta, {1, s}), expect_busy, 1e-12);
+  EXPECT_NEAR(posterior_idle_single(Prob{eta}, {1, s}).value(), expect_busy, 1e-12);
 }
 
 TEST(Sensing, IterativeEqualsClosedForm) {
@@ -122,18 +124,18 @@ TEST(Sensing, IterativeEqualsClosedForm) {
   const std::vector<SensingReport> reports = {
       {1, s1}, {0, s2}, {0, s1}, {1, s2}, {0, s1}};
   const double eta = 0.55;
-  double iterative = posterior_idle_single(eta, reports[0]);
+  double iterative = posterior_idle_single(Prob{eta}, reports[0]).value();
   for (std::size_t l = 1; l < reports.size(); ++l) {
-    iterative = posterior_idle_update(iterative, reports[l]);
+    iterative = posterior_idle_update(Prob{iterative}, reports[l]).value();
   }
-  EXPECT_NEAR(iterative, posterior_idle(eta, reports), 1e-12);
+  EXPECT_NEAR(iterative, posterior_idle(Prob{eta}, reports).value(), 1e-12);
 }
 
 TEST(Sensing, MoreIdleReportsRaiseConfidence) {
   const SensorModel s{0.3, 0.3};
   double prev = 0.4;  // prior idle probability (eta = 0.6)
   for (int l = 0; l < 6; ++l) {
-    const double next = posterior_idle_update(std::max(prev, 1e-9), {0, s});
+    const double next = posterior_idle_update(Prob{std::max(prev, 1e-9)}, {0, s}).value();
     EXPECT_GT(next, prev);
     prev = next;
   }
@@ -142,14 +144,14 @@ TEST(Sensing, MoreIdleReportsRaiseConfidence) {
 
 TEST(Sensing, PerfectSensorIsDecisive) {
   const SensorModel perfect{0.0, 0.0};
-  EXPECT_NEAR(posterior_idle(0.5, perfect, {0}), 1.0, 1e-9);
-  EXPECT_NEAR(posterior_idle(0.5, perfect, {1}), 0.0, 1e-9);
+  EXPECT_NEAR(posterior_idle(Prob{0.5}, perfect, {0}).value(), 1.0, 1e-9);
+  EXPECT_NEAR(posterior_idle(Prob{0.5}, perfect, {1}).value(), 0.0, 1e-9);
 }
 
 TEST(Sensing, UselessSensorLeavesPrior) {
   // eps = 1 - delta makes the likelihood ratio 1: no information.
   const SensorModel coin{0.5, 0.5};
-  EXPECT_NEAR(posterior_idle(0.3, coin, {0, 1, 0, 1}), 0.7, 1e-12);
+  EXPECT_NEAR(posterior_idle(Prob{0.3}, coin, {0, 1, 0, 1}).value(), 0.7, 1e-12);
 }
 
 TEST(Sensing, PosteriorIsBayesConsistentEmpirically) {
@@ -165,7 +167,7 @@ TEST(Sensing, PosteriorIsBayesConsistentEmpirically) {
   for (int i = 0; i < n; ++i) {
     const bool busy = rng.bernoulli(eta);
     std::vector<int> thetas = {s.sense(busy, rng), s.sense(busy, rng)};
-    const double p = posterior_idle(eta, s, thetas);
+    const double p = posterior_idle(Prob{eta}, s, thetas).value();
     sum_posterior += p;
     if (!busy) ++idle_count;
   }
@@ -176,25 +178,25 @@ TEST(Sensing, PosteriorIsBayesConsistentEmpirically) {
 
 TEST(Sensing, RejectsNonBinaryReports) {
   const SensorModel s{0.3, 0.3};
-  EXPECT_THROW(posterior_idle(0.4, {{2, s}}), std::logic_error);
-  EXPECT_THROW(posterior_idle_single(0.4, {-1, s}), std::logic_error);
+  EXPECT_THROW(posterior_idle(Prob{0.4}, {{2, s}}), std::logic_error);
+  EXPECT_THROW(posterior_idle_single(Prob{0.4}, {-1, s}), std::logic_error);
 }
 
 // ------------------------------------------------------------- Access ----
 
 TEST(Access, ProbabilityFormula) {
   // Eq. (7): P^D = min(gamma / (1 - P^A), 1).
-  EXPECT_NEAR(access_probability(0.5, 0.2), 0.4, 1e-12);
-  EXPECT_NEAR(access_probability(0.9, 0.2), 1.0, 1e-12);  // slack constraint
-  EXPECT_NEAR(access_probability(0.0, 0.2), 0.2, 1e-12);
-  EXPECT_NEAR(access_probability(1.0, 0.2), 1.0, 1e-12);
+  EXPECT_NEAR(access_probability(Prob{0.5}, Prob{0.2}).value(), 0.4, 1e-12);
+  EXPECT_NEAR(access_probability(Prob{0.9}, Prob{0.2}).value(), 1.0, 1e-12);  // slack constraint
+  EXPECT_NEAR(access_probability(Prob{0.0}, Prob{0.2}).value(), 0.2, 1e-12);
+  EXPECT_NEAR(access_probability(Prob{1.0}, Prob{0.2}).value(), 1.0, 1e-12);
 }
 
 TEST(Access, CollisionConstraintHolds) {
   // (1 - P^A) * P^D <= gamma for any posterior.
   for (double pa : {0.0, 0.1, 0.35, 0.7, 0.95, 1.0}) {
     for (double gamma : {0.05, 0.2, 0.5}) {
-      EXPECT_LE((1.0 - pa) * access_probability(pa, gamma), gamma + 1e-12);
+      EXPECT_LE((1.0 - pa) * access_probability(Prob{pa}, Prob{gamma}).value(), gamma + 1e-12);
     }
   }
 }
@@ -227,27 +229,27 @@ TEST(Access, CertainIdleEdgeIsDivisionFree) {
   // gamma / 0 is +inf and (for gamma == 0) 0 / 0 is NaN, and the result
   // feeds a Bernoulli draw. The slack-constraint branch covers the whole
   // busy_prob <= gamma band, including exact zero.
-  EXPECT_DOUBLE_EQ(access_probability(1.0, 0.0), 1.0);  // 0/0 band
-  EXPECT_DOUBLE_EQ(access_probability(1.0, 0.2), 1.0);  // gamma/0 band
-  EXPECT_DOUBLE_EQ(access_probability(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(access_probability(Prob{1.0}, Prob{0.0}).value(), 1.0);  // 0/0 band
+  EXPECT_DOUBLE_EQ(access_probability(Prob{1.0}, Prob{0.2}).value(), 1.0);  // gamma/0 band
+  EXPECT_DOUBLE_EQ(access_probability(Prob{1.0}, Prob{1.0}).value(), 1.0);
   // One ulp below certainty: the division path runs with a strictly
   // positive divisor and stays within [0, 1].
   const double near_one = std::nextafter(1.0, 0.0);
-  const double p = access_probability(near_one, 1e-18);
+  const double p = access_probability(Prob{near_one}, Prob{1e-18}).value();
   EXPECT_GE(p, 0.0);
   EXPECT_LE(p, 1.0);
   // Exactly-on-budget boundary: busy_prob == gamma takes the slack branch.
-  EXPECT_DOUBLE_EQ(access_probability(0.8, 0.2), 1.0);
+  EXPECT_DOUBLE_EQ(access_probability(Prob{0.8}, Prob{0.2}).value(), 1.0);
 }
 
 TEST(Access, ProbabilityRejectsNonProbabilityInputs) {
-  EXPECT_THROW(access_probability(1.5, 0.2), std::logic_error);
-  EXPECT_THROW(access_probability(-0.1, 0.2), std::logic_error);
-  EXPECT_THROW(access_probability(0.5, 1.5), std::logic_error);
-  EXPECT_THROW(access_probability(0.5, -0.2), std::logic_error);
+  EXPECT_THROW(access_probability(Prob{1.5}, Prob{0.2}), std::logic_error);
+  EXPECT_THROW(access_probability(Prob{-0.1}, Prob{0.2}), std::logic_error);
+  EXPECT_THROW(access_probability(Prob{0.5}, Prob{1.5}), std::logic_error);
+  EXPECT_THROW(access_probability(Prob{0.5}, Prob{-0.2}), std::logic_error);
   const double nan = std::nan("");
-  EXPECT_THROW(access_probability(nan, 0.2), std::logic_error);
-  EXPECT_THROW(access_probability(0.5, nan), std::logic_error);
+  EXPECT_THROW(access_probability(Prob{nan}, Prob{0.2}), std::logic_error);
+  EXPECT_THROW(access_probability(Prob{0.5}, Prob{nan}), std::logic_error);
 }
 
 TEST(Access, ZeroGammaBlocksUncertainChannels) {

@@ -1,0 +1,123 @@
+// Tests for the strong quantity types in util/units.h.
+//
+// The load-bearing property is *bit-exactness*: every conversion must be
+// the same arithmetic expression the call sites used before the wrappers
+// landed, so deploying the types cannot move the fig3/fig4b golden stdout
+// by even one ulp. These tests pin the expressions bit-for-bit (comparing
+// the raw IEEE-754 payloads, not within a tolerance). The "cannot compile"
+// half of the contract — Db + LinearGain, implicit double conversions —
+// is pinned by the configure-time negative tests in tests/units_negative/.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace femtocr::util {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+const double kDbSweep[] = {-40.0, -3.0, 0.0, 0.1, 3.0103, 10.0, 30.0, 99.5};
+const double kGainSweep[] = {1e-6, 0.25, 1.0, 2.0, 125.0, 1000.0, 5.0e7};
+
+TEST(Units, DbToLinearIsBitExact) {
+  for (double x : kDbSweep) {
+    EXPECT_EQ(bits(to_linear(Db{x}).value()), bits(std::pow(10.0, x / 10.0)))
+        << "x = " << x;
+  }
+}
+
+TEST(Units, LinearToDbIsBitExact) {
+  for (double g : kGainSweep) {
+    EXPECT_EQ(bits(to_db(LinearGain{g}).value()), bits(10.0 * std::log10(g)))
+        << "g = " << g;
+  }
+}
+
+TEST(Units, DbLinearRoundTrip) {
+  for (double x : kDbSweep) {
+    EXPECT_NEAR(to_db(to_linear(Db{x})).value(), x, 1e-12);
+  }
+}
+
+TEST(Units, ComplementIsBitExact) {
+  for (double p : {0.0, 0.25, 0.3, 0.571, 1.0}) {
+    EXPECT_EQ(bits(complement(Prob{p}).value()), bits(1.0 - p));
+  }
+  EXPECT_EQ(complement(complement(Prob{0.25})).value(), 0.25);
+}
+
+TEST(Units, DbmWattsConversionsAreBitExact) {
+  for (double w : {1e-6, 1e-3, 0.1, 1.0, 20.0}) {
+    EXPECT_EQ(bits(to_dbm(Watts{w}).value()),
+              bits(10.0 * std::log10(w * 1e3)));
+  }
+  for (double dbm : {-30.0, 0.0, 10.0, 43.0}) {
+    EXPECT_EQ(bits(watts_from_dbm(Db{dbm}).value()),
+              bits(std::pow(10.0, dbm / 10.0) * 1e-3));
+    EXPECT_NEAR(to_dbm(watts_from_dbm(Db{dbm})).value(), dbm, 1e-12);
+  }
+}
+
+TEST(Units, SlotRateConversions) {
+  // 2 Mbps sustained over a 10 ms slot delivers 20000 bits.
+  EXPECT_EQ(bits_per_slot(Mbps{2.0}, 0.01).value(), 20000.0);
+  EXPECT_EQ(mbps_from_bits(BitsPerSlot{20000.0}, 0.01).value(), 2.0);
+  for (double r : {0.15, 0.5, 0.7, 2.0}) {
+    EXPECT_NEAR(mbps_from_bits(bits_per_slot(Mbps{r}, 0.01), 0.01).value(), r,
+                1e-12);
+  }
+}
+
+TEST(Units, AdditiveArithmeticStaysInUnit) {
+  // dB gains stack additively; scalar scaling keeps the unit.
+  EXPECT_EQ((Db{30.0} + Db{3.0}).value(), 33.0);
+  EXPECT_EQ((Db{30.0} - Db{10.0}).value(), 20.0);
+  EXPECT_EQ((Db{10.0} * 2.0).value(), 20.0);
+  EXPECT_EQ((0.5 * Db{10.0}).value(), 5.0);
+  EXPECT_EQ((Db{10.0} / 4.0).value(), 2.5);
+  // Linear gains compose multiplicatively on top of the additive mixin.
+  EXPECT_EQ((LinearGain{100.0} * LinearGain{0.5}).value(), 50.0);
+  EXPECT_EQ((LinearGain{100.0} / LinearGain{4.0}).value(), 25.0);
+  EXPECT_EQ((LinearGain{100.0} + LinearGain{10.0}).value(), 110.0);
+  // Independent events multiply; Prob deliberately has no operator+.
+  EXPECT_EQ((Prob{0.5} * Prob{0.5}).value(), 0.25);
+}
+
+TEST(Units, ComparisonsAreTypedAndTotal) {
+  EXPECT_TRUE(Db{3.0} < Db{4.0});
+  EXPECT_TRUE(Db{4.0} >= Db{4.0});
+  EXPECT_TRUE(Prob{0.2} != Prob{0.3});
+  EXPECT_TRUE(LinearGain{2.0} == LinearGain{2.0});
+  EXPECT_FALSE(Mbps{0.5} > Mbps{0.7});
+}
+
+TEST(Units, CheckedProbValidatesAtTheBoundary) {
+  EXPECT_EQ(checked_prob(0.0, "p").value(), 0.0);
+  EXPECT_EQ(checked_prob(1.0, "p").value(), 1.0);
+  EXPECT_EQ(checked_prob(0.571, "p").value(), 0.571);
+  EXPECT_THROW(checked_prob(-0.1, "p"), std::logic_error);
+  EXPECT_THROW(checked_prob(1.5, "p"), std::logic_error);
+  EXPECT_THROW(checked_prob(std::nan(""), "p"), std::logic_error);
+}
+
+TEST(Units, RawConstructionCarriesNoRangeContract) {
+  // Tests build deliberately-invalid quantities to exercise downstream
+  // FEMTOCR_CHECK_* guards; the wrapper itself must not reject them.
+  EXPECT_EQ(Prob{1.5}.value(), 1.5);
+  EXPECT_EQ(Prob{-0.1}.value(), -0.1);
+  EXPECT_EQ(LinearGain{-1.0}.value(), -1.0);
+}
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_EQ(Db{}.value(), 0.0);
+  EXPECT_EQ(Prob{}.value(), 0.0);
+  EXPECT_EQ(BitsPerSlot{}.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace femtocr::util

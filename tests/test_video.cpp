@@ -2,35 +2,66 @@
 // sequence catalogue, GOP timing and per-user session accounting.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "video/gop.h"
 #include "video/mgs_model.h"
 #include "video/session.h"
+#include "util/units.h"
 
 namespace femtocr::video {
 namespace {
+
+using util::Db;
+using util::Mbps;
 
 // ---------------------------------------------------------- MgsVideo ----
 
 TEST(MgsVideo, LinearModel) {
   const MgsVideo v{"Test", 30.0, 20.0, 1.0};
-  EXPECT_DOUBLE_EQ(v.psnr(0.0), 30.0);      // base layer only
-  EXPECT_DOUBLE_EQ(v.psnr(0.25), 35.0);     // Eq. (9)
-  EXPECT_DOUBLE_EQ(v.psnr(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(v.psnr(Mbps{0.0}).value(), 30.0);      // base layer only
+  EXPECT_DOUBLE_EQ(v.psnr(Mbps{0.25}).value(), 35.0);     // Eq. (9)
+  EXPECT_DOUBLE_EQ(v.psnr(Mbps{1.0}).value(), 50.0);
 }
 
 TEST(MgsVideo, SaturatesAtMaxRate) {
   const MgsVideo v{"Test", 30.0, 20.0, 0.5};
-  EXPECT_DOUBLE_EQ(v.psnr(0.5), 40.0);
-  EXPECT_DOUBLE_EQ(v.psnr(2.0), 40.0);  // extra rate buys nothing
-  EXPECT_DOUBLE_EQ(v.psnr(-1.0), 30.0);
+  EXPECT_DOUBLE_EQ(v.psnr(Mbps{0.5}).value(), 40.0);
+  EXPECT_DOUBLE_EQ(v.psnr(Mbps{2.0}).value(), 40.0);  // extra rate buys nothing
+  EXPECT_DOUBLE_EQ(v.psnr(Mbps{-1.0}).value(), 30.0);
 }
 
 TEST(MgsVideo, InverseModel) {
   const MgsVideo v{"Test", 30.0, 20.0, 1.0};
-  EXPECT_DOUBLE_EQ(v.rate_for_psnr(35.0), 0.25);
-  EXPECT_DOUBLE_EQ(v.rate_for_psnr(25.0), 0.0);   // below base: no rate
-  EXPECT_DOUBLE_EQ(v.rate_for_psnr(99.0), 1.0);   // clamped to max
-  EXPECT_DOUBLE_EQ(v.psnr(v.rate_for_psnr(37.0)), 37.0);  // round trip
+  EXPECT_DOUBLE_EQ(v.rate_for_psnr(Db{35.0}).value(), 0.25);
+  EXPECT_DOUBLE_EQ(v.rate_for_psnr(Db{25.0}).value(), 0.0);   // below base: no rate
+  EXPECT_DOUBLE_EQ(v.rate_for_psnr(Db{99.0}).value(), 1.0);   // clamped to max
+  EXPECT_DOUBLE_EQ(v.psnr(Mbps{v.rate_for_psnr(Db{37.0}).value()}).value(),
+                   37.0);  // round trip
+}
+
+TEST(MgsVideo, RejectsNonFiniteInputs) {
+  const MgsVideo v{"Test", 30.0, 20.0, 1.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(v.psnr(Mbps{nan}), std::logic_error);
+  EXPECT_THROW(v.psnr(Mbps{inf}), std::logic_error);
+  EXPECT_THROW(v.psnr(Mbps{-inf}), std::logic_error);
+  EXPECT_THROW(v.rate_for_psnr(Db{nan}), std::logic_error);
+  EXPECT_THROW(v.rate_for_psnr(Db{inf}), std::logic_error);
+  EXPECT_THROW(v.rate_for_psnr(Db{-inf}), std::logic_error);
+}
+
+TEST(MgsVideo, PlannedRateNeverLeavesTheModelRange) {
+  // The inverse model clamps to [0, max_rate] for any finite target —
+  // including targets far below alpha (negative pre-clamp rate) and far
+  // above the cap.
+  const MgsVideo v{"Test", 30.0, 20.0, 1.0};
+  for (double target : {-1e9, 0.0, 25.0, 29.999, 30.0, 50.0, 1e9}) {
+    const double r = v.rate_for_psnr(Db{target}).value();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, v.max_rate);
+  }
 }
 
 TEST(MgsVideo, Validation) {
@@ -65,7 +96,7 @@ TEST(Catalogue, ComplexSequencesSitLower) {
   const MgsVideo& mobile = sequence("Mobile");
   const MgsVideo& ice = sequence("Ice");
   for (double r : {0.0, 0.1, 0.2, 0.3, 0.4}) {
-    EXPECT_LT(mobile.psnr(r), ice.psnr(r));
+    EXPECT_LT(mobile.psnr(Mbps{r}), ice.psnr(Mbps{r}));
   }
 }
 

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: adding a decibel quantity to a linear power ratio
+// mixes incommensurable units; convert explicitly via to_linear()/to_db().
+#include "util/units.h"
+
+int main() {
+  auto x = femtocr::util::Db{3.0} + femtocr::util::LinearGain{2.0};
+  return static_cast<int>(x.value());
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: Prob carries no operator+ — the sum of two
+// probabilities is rarely a probability. Independent events multiply,
+// complements go through complement().
+#include "util/units.h"
+
+int main() {
+  auto x = femtocr::util::Prob{0.1} + femtocr::util::Prob{0.2};
+  return static_cast<int>(x.value());
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: quantity construction is explicit — a bare double has
+// no unit, so it must be wrapped deliberately at the call site.
+#include "util/units.h"
+
+int main() {
+  femtocr::util::Db d = 3.0;
+  return static_cast<int>(d.value());
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: the only way out of the type system is .value() — an
+// implicit conversion to double would let units silently erase themselves.
+#include "util/units.h"
+
+int main() {
+  double x = femtocr::util::Prob{0.5};
+  return static_cast<int>(x);
+}

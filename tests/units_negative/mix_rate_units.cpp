@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: a sustained rate (Mbps) and a per-slot bit quota
+// (BitsPerSlot) differ by the slot length; adding them needs an explicit
+// bits_per_slot()/mbps_from_bits() conversion.
+#include "util/units.h"
+
+int main() {
+  auto x = femtocr::util::Mbps{1.0} +
+           femtocr::util::bits_per_slot(femtocr::util::Mbps{1.0}, 0.01);
+  return static_cast<int>(x.value());
+}

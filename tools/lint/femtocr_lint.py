@@ -28,6 +28,30 @@ Scans the library sources (``src/``) and enforces:
   pragma-once   every header uses `#pragma once` (and not an
                 #ifndef/#define include guard), consistently with the rest
                 of the tree.
+  no-unordered-iteration
+                no std::unordered_{map,set,multimap,multiset} in library
+                code — hash-order iteration is a determinism hazard (the
+                bitwise-identical-across-thread-counts contract dies the
+                first time someone loops over one); use std::map/std::set
+                or a sorted vector. The libclang tier
+                (femtocr_ast_lint.py) checks actual iteration; this regex
+                tier conservatively bans the containers outright.
+  no-implicit-db-lin
+                no raw `double` parameters with a unit-suffixed name
+                (*_db, *_lin) — a declared raw double is the hole an
+                unconverted value flows through across TUs. Take
+                util::Db / util::LinearGain from util/units.h instead so
+                the mix-up is a compile error. The libclang tier
+                additionally flags suffix-mismatched arguments at call
+                sites.
+  no-unannotated-mutex
+                no raw std::mutex (or recursive/timed/shared variants)
+                outside util/thread_annotations.h — use the annotated
+                util::Mutex wrapper so clang's -Wthread-safety analysis
+                (the CI thread-safety job) can see every lock. The
+                libclang tier narrows this to mutex *members lacking
+                FEMTOCR_GUARDED_BY users*; the regex tier bans the raw
+                type wholesale.
   no-hot-loop-alloc
                 ADVISORY (printed, never fails the run): flags
                 std::vector construction inside translation units tagged
@@ -81,6 +105,9 @@ RULES = (
     "no-float-eq",
     "no-raw-chrono-clock",
     "pragma-once",
+    "no-unordered-iteration",
+    "no-implicit-db-lin",
+    "no-unannotated-mutex",
     "no-hot-loop-alloc",
 )
 
@@ -125,6 +152,16 @@ INNER_LOOP_TAG_RE = re.compile(r"femtocr:inner-loop-tu")
 # pattern. Nested template arguments are handled by backtracking over the
 # non-`&` run before the closing `>`.
 HOT_ALLOC_RE = re.compile(r"std::vector\s*<[^&;]*>\s+\w+\s*[({;=]")
+# Hash containers: iteration order is implementation-defined, which breaks
+# the bitwise-determinism contract the moment anyone loops over one.
+UNORDERED_RE = re.compile(r"std::unordered_(?:multi)?(?:map|set)\b")
+# A raw double parameter whose name claims a unit (snr_db, gain_lin): the
+# declaration is where an unconverted value slips through; such parameters
+# take util::Db / util::LinearGain instead.
+DB_LIN_PARAM_RE = re.compile(r"\bdouble\s+\w+_(?:db|lin)\b")
+# Raw standard mutexes carry no capability attributes, so clang's
+# -Wthread-safety analysis cannot see their locks.
+MUTEX_RE = re.compile(r"(?<![\w:])std::(?:recursive_|timed_|shared_)?mutex\b")
 ALLOW_LINE_RE = re.compile(r"//\s*lint-allow:\s*([\w,\- ]+)")
 ALLOW_FILE_RE = re.compile(r"//\s*lint-allow-file:\s*([\w,\- ]+)")
 COMMENT_RE = re.compile(r"//.*$")
@@ -185,6 +222,10 @@ def lint_file(path: Path, layer: str | None) -> list[Violation]:
         "timer.h",
         "timer.cpp",
     )
+    # The annotated Mutex wrapper itself owns the one raw std::mutex.
+    mutex_exempt = (
+        path.parent.name == "util" and path.name == "thread_annotations.h"
+    )
 
     def report(lineno: int, rule: str, msg: str, raw: str) -> None:
         if rule in file_allow:
@@ -242,6 +283,36 @@ def lint_file(path: Path, layer: str | None) -> list[Violation]:
                 "no-float-eq",
                 "floating-point == / != against a literal — use "
                 "util::near() or an explicit tolerance",
+                raw,
+            )
+
+        if UNORDERED_RE.search(code):
+            report(
+                i,
+                "no-unordered-iteration",
+                "hash container in library code — iteration order is "
+                "implementation-defined and breaks bitwise determinism; "
+                "use std::map/std::set or a sorted vector",
+                raw,
+            )
+
+        if DB_LIN_PARAM_RE.search(code):
+            report(
+                i,
+                "no-implicit-db-lin",
+                "raw double parameter with a unit-suffixed name — take "
+                "util::Db / util::LinearGain from util/units.h so a "
+                "dB/linear mix-up cannot compile",
+                raw,
+            )
+
+        if MUTEX_RE.search(code) and not mutex_exempt:
+            report(
+                i,
+                "no-unannotated-mutex",
+                "raw standard mutex in library code — use the annotated "
+                "util::Mutex from util/thread_annotations.h so clang's "
+                "-Wthread-safety analysis sees the lock",
                 raw,
             )
 
@@ -331,6 +402,12 @@ def self_test(fixture_src: Path) -> int:
             # Tagged inner-loop TU: two seeded constructions fire, the
             # reference binding and the lint-allow'd line stay silent.
             ("core/bad_hot_alloc.cpp", "no-hot-loop-alloc"): 2,
+            ("core/bad_unordered.cpp", "no-unordered-iteration"): 2,
+            ("phy/bad_db_param.h", "no-implicit-db-lin"): 2,
+            ("phy/bad_db_param.cpp", "no-implicit-db-lin"): 1,
+            # util/ placement proves the exemption is pinned to
+            # thread_annotations.h itself, not the whole util layer.
+            ("util/bad_mutex.cpp", "no-unannotated-mutex"): 2,
         }
     )
     ok = True

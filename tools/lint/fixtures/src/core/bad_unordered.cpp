@@ -1,0 +1,17 @@
+// Seeded violations for no-unordered-iteration: hash containers in library
+// code break the bitwise-determinism contract the moment anyone iterates.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace femtocr {
+
+std::unordered_map<int, double> lookup;  // fires
+std::unordered_set<int> seen;            // fires
+
+// The suppression keeps migration-in-progress code compiling.
+std::unordered_multimap<int, int> legacy;  // lint-allow: no-unordered-iteration
+
+std::map<int, double> sorted_lookup;  // ordered containers stay silent
+
+}  // namespace femtocr

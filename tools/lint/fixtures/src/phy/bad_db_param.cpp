@@ -1,0 +1,16 @@
+// Seeded violation for no-implicit-db-lin in a definition, plus a
+// suppressed line exercising the trailing lint-allow form.
+#include "phy/bad_db_param.h"
+
+namespace femtocr {
+
+double gain_from(double snr_db) { return snr_db; }  // fires
+
+double outage(double mean_lin,  // lint-allow: no-implicit-db-lin
+              double threshold) {
+  return mean_lin * threshold;
+}
+
+double distance_gain(double meters) { return meters; }
+
+}  // namespace femtocr

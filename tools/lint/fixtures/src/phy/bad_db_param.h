@@ -1,0 +1,13 @@
+#pragma once
+// Seeded violations for no-implicit-db-lin: raw double parameters whose
+// names claim a unit are the hole an unconverted value flows through.
+
+namespace femtocr {
+
+double gain_from(double snr_db);                    // fires
+double outage(double mean_lin, double threshold);   // fires (mean_lin)
+
+// Unsuffixed doubles carry no unit claim and stay silent.
+double distance_gain(double meters);
+
+}  // namespace femtocr

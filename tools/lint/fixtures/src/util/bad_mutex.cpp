@@ -1,0 +1,20 @@
+// Seeded violations for no-unannotated-mutex: raw standard mutexes carry
+// no capability attributes, so clang's -Wthread-safety cannot see them.
+// (This fixture lives under util/ but is NOT thread_annotations.h, so the
+// sanctioned-site exemption must not apply.)
+#include <mutex>
+
+namespace femtocr {
+
+struct Registry {
+  std::mutex mu;             // fires
+  std::recursive_mutex rmu;  // fires
+  int count = 0;
+};
+
+// The suppression covers deliberate interop with external lock types.
+std::shared_mutex interop_mu;  // lint-allow: no-unannotated-mutex
+
+// The project wrapper (util::Mutex) would not match the raw-type regex.
+
+}  // namespace femtocr

@@ -1,0 +1,43 @@
+// AST-tier fixture for no-unordered-iteration: only *iteration* over a
+// hash container fires here — owning one for O(1) lookup is allowed at
+// this tier (the regex tier is stricter and bans the type outright).
+#include <map>
+#include <unordered_map>
+
+namespace femtocr {
+
+double sum_unordered(const std::unordered_map<int, double>& table) {
+  double total = 0.0;
+  for (const auto& [key, value] : table) {  // fires: range-for
+    total += value + static_cast<double>(key);
+  }
+  return total;
+}
+
+bool first_key_even(const std::unordered_map<int, double>& table) {
+  auto it = table.begin();  // fires: explicit begin()
+  return it != table.end() && it->first % 2 == 0;
+}
+
+double lookup_only(const std::unordered_map<int, double>& table, int key) {
+  auto it = table.find(key);  // silent: point lookup, no iteration
+  return it == table.end() ? 0.0 : it->second;
+}
+
+double sum_ordered(const std::map<int, double>& table) {
+  double total = 0.0;
+  for (const auto& [key, value] : table) {  // silent: ordered container
+    total += value + static_cast<double>(key);
+  }
+  return total;
+}
+
+double sum_suppressed(const std::unordered_map<int, double>& table) {
+  double total = 0.0;
+  for (const auto& [key, value] : table) {  // lint-allow: no-unordered-iteration
+    total += value + static_cast<double>(key);
+  }
+  return total;
+}
+
+}  // namespace femtocr

@@ -1,0 +1,25 @@
+// AST-tier fixture for no-implicit-db-lin: both sides are plain double,
+// so only the *names* carry the unit claim — the rule flags call sites
+// where an argument suffixed with one unit meets a parameter suffixed
+// with the other.
+namespace femtocr {
+
+double to_linear_approx(double snr_db) { return snr_db * 0.23; }
+double outage_from(double mean_lin) { return 1.0 / (1.0 + mean_lin); }
+
+double demo() {
+  double measured_db = 12.0;
+  double channel_lin = 15.8;
+
+  double a = to_linear_approx(channel_lin);  // fires: *_lin into *_db
+  double b = outage_from(measured_db);       // fires: *_db into *_lin
+
+  double c = to_linear_approx(measured_db);  // silent: suffixes match
+  double d = outage_from(channel_lin);       // silent: suffixes match
+
+  double e = outage_from(measured_db);  // lint-allow: no-implicit-db-lin
+
+  return a + b + c + d + e;
+}
+
+}  // namespace femtocr

@@ -1,0 +1,18 @@
+// AST-tier fixture for no-unannotated-mutex: a mutex member that no
+// sibling field names in a FEMTOCR_GUARDED_BY attribute guards nothing —
+// dead weight, or unprotected state the analysis cannot check.
+#include "util/thread_annotations.h"
+
+namespace femtocr {
+
+struct GoodCounter {
+  util::Mutex mu;
+  int value FEMTOCR_GUARDED_BY(mu) = 0;  // silent: mu guards value
+};
+
+struct BadCounter {
+  util::Mutex mu;  // fires: no field is FEMTOCR_GUARDED_BY(mu)
+  int value = 0;
+};
+
+}  // namespace femtocr
