@@ -2,7 +2,9 @@
 //
 // Sweeps users x FBSs x channels well past the paper's figure scenarios —
 // up to 500 users / 50 FBSs / 64 licensed channels on the non-interfering
-// dual-decomposition path, and ring-interference cells up to 50 FBSs on
+// dual-decomposition path (each replication a warm-started chain of
+// drifting slots, so the warm-start hit rate is exercised at bench scale),
+// and ring-interference cells up to 50 FBSs on
 // the greedy + water-filling path (the greedy's candidate argmax is the
 // intra-slot parallel section, so the interfering cells are the ones that
 // scale with --threads). Not a figure: this bench exists to (a) pin the
@@ -29,6 +31,7 @@
 #include "core/types.h"
 #include "net/interference_graph.h"
 #include "util/check.h"
+#include "util/mathx.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 
@@ -81,6 +84,21 @@ Fixture make_fixture(const Cell& cell, bool ring, std::uint64_t rep) {
   return f;
 }
 
+/// One slot of belief/fading drift for the dual chains: posteriors and
+/// link states move a few percent per slot (beliefs evolve slowly — the
+/// regime where carried prices pay), clamped back into their valid ranges.
+void drift_fixture(Fixture& f, util::Rng& rng) {
+  for (double& p : f.ctx.posterior) {
+    p = util::clamp(p * rng.uniform(0.97, 1.03), 0.05, 1.0);
+  }
+  for (core::UserState& u : f.ctx.users) {
+    u.success_mbs = util::clamp(u.success_mbs * rng.uniform(0.98, 1.02), 0.05, 0.999);
+    u.success_fbs = util::clamp(u.success_fbs * rng.uniform(0.98, 1.02), 0.05, 0.999);
+    u.rate_mbs = util::clamp(u.rate_mbs * rng.uniform(0.98, 1.02), 0.1, 1.0);
+    u.rate_fbs = util::clamp(u.rate_fbs * rng.uniform(0.98, 1.02), 0.1, 1.0);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,20 +146,44 @@ int main(int argc, char** argv) {
     for (std::size_t rep = 0; rep < harness.runs(); ++rep) {
       ++replications;
       if (std::string(cell.kind) == "dual") {
+        // Warm-started slot chain: the fixture drifts a little per slot
+        // and the previous slot's converged prices seed the next solve —
+        // the live warm-start regime of core/scheme.cpp. Slot 0 is the
+        // chain's one (counted) cold miss; every later slot should be a
+        // core.dual.warm_start.hit.
+        constexpr std::size_t kChainSlots = 6;
         Fixture f = make_fixture(cell, /*ring=*/false, rep);
-        const std::vector<double> gt(cell.fbs,
-                                     f.ctx.total_expected_channels());
+        util::Rng drift_rng(0x5eed5u + 1000003u * rep + 31u * cell.users +
+                            17u * cell.fbs + 13u * cell.channels);
         core::SlotCache cache;
-        cache.build(f.ctx);
         core::DualOptions opts;
         // Bound the subgradient so the 500-user cells stay bench-sized;
         // the result is deterministic either way.
         opts.max_iterations = 20000;
-        c_solves.add();
-        const util::ScopedTimer timer(t_solve);
-        const core::DualResult res = core::solve_dual(f.ctx, cache, gt, opts);
-        sum_objective += res.allocation.objective;
-        work += res.iterations;
+        opts.warm_start_enabled = true;
+        std::vector<double> warm;
+        for (std::size_t slot = 0; slot < kChainSlots; ++slot) {
+          if (slot > 0) drift_fixture(f, drift_rng);
+          const std::vector<double> gt(cell.fbs,
+                                       f.ctx.total_expected_channels());
+          cache.build(f.ctx);
+          if (warm.size() == cell.fbs + 1) {
+            opts.warm_start = warm;
+          } else {
+            opts.warm_start.reset();
+          }
+          c_solves.add();
+          const util::ScopedTimer timer(t_solve);
+          const core::DualResult res =
+              core::solve_dual(f.ctx, cache, gt, opts);
+          if (res.converged) {
+            warm = res.lambda;
+          } else {
+            warm.clear();  // never carry a degraded price vector
+          }
+          sum_objective += res.allocation.objective;
+          work += res.iterations;
+        }
       } else {
         Fixture f = make_fixture(cell, /*ring=*/true, rep);
         core::SlotCache cache;

@@ -341,7 +341,9 @@ DualResult solve_dual(const SlotContext& ctx, const SlotCache& cache,
   c_solves.add();
   if (options.warm_start) {
     c_warm_hits.add();
-  } else {
+  } else if (options.warm_start_enabled) {
+    // Only chained callers count misses — a one-shot solve with the warm
+    // start feature off is a cold solve, not a missed warm start.
     c_warm_misses.add();
   }
 

@@ -37,10 +37,17 @@ struct DualOptions {
   double initial_lambda = 0.05; ///< starting price when no warm start given
   bool record_trace = false;    ///< keep lambda(tau) for every tau
 
-  /// Warm start: prices from a previous solve (size num_fbs + 1). Greedy
-  /// channel allocation re-solves nearby problems hundreds of times per
-  /// slot; warm starting cuts iterations by an order of magnitude.
+  /// Warm start: prices from a previous solve (size num_fbs + 1). Beliefs
+  /// and fading drift slowly across slots and adjacent sweep points, so a
+  /// carried price lands near the new optimum and cuts iterations by an
+  /// order of magnitude.
   std::optional<std::vector<double>> warm_start;
+  /// Set by callers that run a warm-start chain (core/scheme.cpp, the
+  /// stress bench): a solve entered without carried prices then counts a
+  /// core.dual.warm_start.miss. When false (default) a priceless solve is
+  /// just a cold solve and counts neither, keeping one-shot callers out of
+  /// the hit-rate denominator. Passing `warm_start` always counts a hit.
+  bool warm_start_enabled = false;
 
   /// Graceful-degradation knobs. Every sampled price vector is scored by
   /// the *same* primal recovery used at exit (best responses + budget

@@ -121,6 +121,7 @@ ProtocolResult run_protocol(const SlotContext& ctx,
   alloc.upper_bound = alloc.objective;
   alloc.dual_iterations = result.rounds;
   result.allocation = std::move(alloc);
+  result.lambda = std::move(prices.lambda);
   return result;
 }
 

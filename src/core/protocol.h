@@ -78,6 +78,10 @@ class MbsAgent {
 /// Statistics of one protocol run.
 struct ProtocolResult {
   SlotAllocation allocation;
+  /// Final broadcast prices [lambda_0..lambda_N]: the natural warm-start
+  /// seed for the next slot's exchange (DualOptions::warm_start), exactly
+  /// what ProposedScheme carries on the centralized path.
+  std::vector<double> lambda;
   bool converged = false;
   std::size_t rounds = 0;
   std::size_t uplink_messages = 0;    ///< user -> MBS share reports

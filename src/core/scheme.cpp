@@ -23,18 +23,36 @@ ProposedScheme::ProposedScheme(DualOptions options,
     : options_(std::move(options)),
       use_distributed_solver_(use_distributed_solver) {}
 
+void ProposedScheme::seed_prices(std::vector<double> lambda) {
+  warm_lambda_ = std::move(lambda);
+  warm_age_ = 0;
+}
+
+const std::vector<double>* ProposedScheme::carried_prices() const {
+  return warm_lambda_.empty() ? nullptr : &warm_lambda_;
+}
+
 SlotAllocation ProposedScheme::allocate(const SlotContext& ctx) {
   // One cache build covers every solve this slot makes — including all of
   // the greedy's candidate evaluations — and validates the context once.
   cache_.build(ctx);
+  // Every slot ages the carried prices, including slots that never reach
+  // the dual solve (interfering slots, fault bypasses in the simulator are
+  // invisible here but show up as non-refreshing slots too): the staleness
+  // bound is on wall-clock slots, not on solver calls.
+  ++warm_age_;
   if (ctx.graph->num_edges() == 0) {
     // Non-interfering: every FBS reuses all available channels (spatial
     // reuse); Tables I/II apply and achieve the optimum.
     std::vector<double> gt(ctx.num_fbs, ctx.total_expected_channels());
     if (use_distributed_solver_) {
       DualOptions opts = options_;
-      if (warm_lambda_.size() == ctx.num_fbs + 1) {
+      opts.warm_start_enabled = true;
+      if (warm_lambda_.size() == ctx.num_fbs + 1 &&
+          warm_age_ <= kMaxWarmAgeSlots) {
         opts.warm_start = warm_lambda_;
+      } else {
+        warm_lambda_.clear();  // stale or shape-mismatched seed
       }
       // Fault-injection budget squeeze (sim/faults.h): the solve must land
       // inside the slot, so an injected cap bounds the subgradient budget
@@ -44,7 +62,15 @@ SlotAllocation ProposedScheme::allocate(const SlotContext& ctx) {
             std::min(opts.max_iterations, ctx.solver_iteration_cap);
       }
       DualResult res = solve_dual(ctx, cache_, gt, opts);
-      warm_lambda_ = res.lambda;
+      if (res.converged) {
+        // Only converged prices are worth carrying: a degraded solve's
+        // final prices can sit anywhere in the orbit and would poison the
+        // next slot's seed.
+        warm_lambda_ = res.lambda;
+        warm_age_ = 0;
+      } else {
+        warm_lambda_.clear();
+      }
       res.allocation.channels.assign(ctx.num_fbs, ctx.available);
       res.allocation.objective_empty = res.allocation.objective;
       return res.allocation;

@@ -23,6 +23,14 @@ class Scheme {
   virtual ~Scheme() = default;
   virtual std::string name() const = 0;
   virtual SlotAllocation allocate(const SlotContext& ctx) = 0;
+
+  /// Live warm-start plumbing: a scheme that maintains dual prices across
+  /// slots may adopt a seed before its first allocate() (price carry across
+  /// adjacent sweep points — sim/sweeps.h) and expose its current carry for
+  /// the next instance in the chain. Stateless schemes ignore both; the
+  /// base returns nullptr for "nothing carried".
+  virtual void seed_prices(std::vector<double> /*lambda*/) {}
+  virtual const std::vector<double>* carried_prices() const { return nullptr; }
 };
 
 enum class SchemeKind {
@@ -41,15 +49,24 @@ const char* scheme_name(SchemeKind kind);
 /// the prices from the previous slot.
 class ProposedScheme final : public Scheme {
  public:
+  /// Staleness bound on the carried prices: a seed older than this many
+  /// allocate() calls (slots the dual path did not refresh it — fault
+  /// bypasses, interfering slots, non-converged solves) is discarded and
+  /// the next solve starts cold, so churn cannot poison the seed price.
+  static constexpr std::size_t kMaxWarmAgeSlots = 8;
+
   explicit ProposedScheme(DualOptions options = {},
                           bool use_distributed_solver = false);
   std::string name() const override { return "Proposed"; }
   SlotAllocation allocate(const SlotContext& ctx) override;
+  void seed_prices(std::vector<double> lambda) override;
+  const std::vector<double>* carried_prices() const override;
 
  private:
   DualOptions options_;
   bool use_distributed_solver_;
   std::vector<double> warm_lambda_;  ///< prices carried across slots
+  std::size_t warm_age_ = 0;  ///< allocate() calls since the carry was fresh
   SlotCache cache_;  ///< rebuilt each slot; buffers persist across slots
 };
 

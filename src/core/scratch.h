@@ -83,10 +83,18 @@ struct DualScratch {
 };
 
 /// waterfill_resource's working set: the per-member price offsets
-/// W_j / R_j hoisted out of the bisection loop.
+/// W_j / R_j hoisted out of the level solve, plus the breakpoint event
+/// tables of the analytic solver (core/waterfill.cpp). Each usable member
+/// contributes up to two events — the level where its share leaves the cap
+/// and the level where it turns off — swept in descending-level order.
 struct ResourceScratch {
   std::vector<double> pr;            ///< W / rate per member (usable only)
   std::vector<unsigned char> usable; ///< rate > 0 && success > 0
+  std::vector<double> ev_lambda;     ///< event water level
+  std::vector<double> ev_ds;         ///< ΔS crossing the event downward
+  std::vector<double> ev_dpr;        ///< Δ(W/rate) crossing downward
+  std::vector<double> ev_dcap;       ///< Δ(capped-member count), 0 or 1
+  std::vector<std::uint32_t> ev_order;  ///< sort permutation, level desc
 };
 
 /// evaluate_assignment / evaluate_objective working set: one resource's

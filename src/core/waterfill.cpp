@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/objective.h"
 #include "core/scratch.h"
@@ -18,71 +19,213 @@ namespace femtocr::core {
 
 namespace {
 
-/// Bisection core shared by the public entry point and the cached
-/// assignment evaluator. `pr[k]` must equal W_k / rate_k (the price offset
-/// best_share re-divided on every bisection step) for usable members and
-/// `usable[k]` the rate > 0 && success > 0 gate, both hoisted out of the
-/// ~100-step loop; `hi` is the max usable S R / W. Every share written is
+constexpr double kLevelLo = 1e-12;  ///< "almost zero" price probe
+
+/// Sum-of-shares at a fixed positive water level. Every share written is
 /// bit-identical to a best_share call with the same operands: lambda is
-/// always positive inside this routine, so best_share's free-resource
+/// always positive inside the level solvers, so best_share's free-resource
 /// branch cannot trigger, and the clamp expression below is its remaining
 /// path verbatim.
-double waterfill_level(const double* successes, const double* pr,
-                       const unsigned char* usable, std::size_t n, double hi,
-                       double* rho_out) {
-  // The water level IS the per-resource Lagrange dual variable of problem
-  // (12), so bisection steps on it count toward core.dual.iterations
-  // alongside solve_dual's subgradient passes (docs/OBSERVABILITY.md).
-  static util::Counter& c_level_solves =
-      util::metrics().counter("core.waterfill.level_solves");
-  static util::Counter& c_dual_iters =
-      util::metrics().counter("core.dual.iterations");
-
-  std::fill(rho_out, rho_out + n, 0.0);
-  if (n == 0) return 0.0;
-  c_level_solves.add();
-
-  auto shares_at = [&](double lambda) {
-    double sum = 0.0;
-    for (std::size_t k = 0; k < n; ++k) {
-      double r = 0.0;
-      if (usable[k] != 0) {
-        r = util::clamp(successes[k] / lambda - pr[k], 0.0, kRhoCap);
-      }
-      rho_out[k] = r;
-      sum += r;
+double shares_at_level(const double* successes, const double* pr,
+                       const unsigned char* usable, std::size_t n,
+                       double lambda, double* rho_out) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    double r = 0.0;
+    if (usable[k] != 0) {
+      r = util::clamp(successes[k] / lambda - pr[k], 0.0, kRhoCap);
     }
-    return sum;
-  };
-
-  if (hi <= 0.0) {  // nobody can use this resource
-    shares_at(1.0);
-    return 0.0;
+    rho_out[k] = r;
+    sum += r;
   }
+  return sum;
+}
 
-  constexpr double kLo = 1e-12;
-  if (shares_at(kLo) <= 1.0) {
-    // Budget slack even at (almost) zero price: caps bind, lambda* = 0.
-    return 0.0;
-  }
-  double lo = kLo;
+/// Reference bisection on the budget-binding bracket [kLevelLo, hi] — the
+/// pre-breakpoint level solver, kept verbatim as the analytic solver's
+/// numerical fallback and as the equivalence-test oracle
+/// (waterfill_resource_reference). Only called when the budget binds.
+double bisect_level(const double* successes, const double* pr,
+                    const unsigned char* usable, std::size_t n, double hi,
+                    double* rho_out) {
+  double lo = kLevelLo;
   constexpr int kBisectionSteps = 100;
   for (int iter = 0; iter < kBisectionSteps; ++iter) {
     const double mid = 0.5 * (lo + hi);
-    if (shares_at(mid) > 1.0) {
+    if (shares_at_level(successes, pr, usable, n, mid, rho_out) > 1.0) {
       lo = mid;
     } else {
       hi = mid;
     }
   }
-  c_dual_iters.add(kBisectionSteps);  // one shard add for the whole loop
-  const double sum = shares_at(hi);  // final shares, feasible bracket side
-  // KKT exit contracts: a finite positive water level and a primal point
-  // inside the slot budget (the bisection maintained shares_at(hi) <= 1).
-  FEMTOCR_CHECK_FINITE(hi, "water-filling level must be finite");
-  FEMTOCR_DCHECK_LE(sum, 1.0 + 1e-9, "water-filled shares exceed the slot");
-  FEMTOCR_DCHECK_GE(hi, 0.0, "water-filling price must be nonnegative");
   return hi;
+}
+
+/// Analytic water-level core shared by the public entry point and the
+/// cached assignment evaluator. `pr[k]` must equal W_k / rate_k for usable
+/// members and `usable[k]` the rate > 0 && success > 0 gate, both hoisted
+/// out of the solve; `hi` is the max usable S R / W.
+///
+/// The share profile rho_k(λ) = clamp(S_k/λ − pr_k, 0, cap) makes the
+/// budget g(λ) = Σ rho_k(λ) piecewise-hyperbolic in λ with two breakpoints
+/// per member: λ_on = S/pr (the share turns on below it) and
+/// λ_cap = S/(pr + cap) (the share saturates below it). Between
+/// breakpoints g(λ) = A/λ − B + C·cap with A = Σ_active S, B = Σ_active pr
+/// and C the capped count, so the binding level solves g(λ*) = 1 in closed
+/// form: λ* = A / (1 + B − C·cap). One descending sweep over the sorted
+/// events finds the interval containing the crossing; a single Newton
+/// polish (an exact reclassification at the candidate, then the closed
+/// form again) removes the streaming-prefix rounding. Replaces the
+/// 100-step bisection PR 4 inherited — which therefore no longer feeds
+/// core.dual.iterations (docs/OBSERVABILITY.md).
+double waterfill_level(const double* successes, const double* pr,
+                       const unsigned char* usable, std::size_t n, double hi,
+                       double* rho_out, ResourceScratch& rs) {
+  static util::Counter& c_level_solves =
+      util::metrics().counter("core.waterfill.level_solves");
+  static util::Counter& c_bp_solves =
+      util::metrics().counter("core.waterfill.breakpoint.solves");
+  static util::Counter& c_bp_events =
+      util::metrics().counter("core.waterfill.breakpoint.events");
+  static util::Counter& c_bp_polish =
+      util::metrics().counter("core.waterfill.breakpoint.polish_moved");
+  static util::Counter& c_bp_fallback =
+      util::metrics().counter("core.waterfill.breakpoint.bisect_fallback");
+
+  std::fill(rho_out, rho_out + n, 0.0);
+  if (n == 0) return 0.0;
+  c_level_solves.add();
+
+  if (hi <= 0.0) {  // nobody can use this resource
+    shares_at_level(successes, pr, usable, n, 1.0, rho_out);
+    return 0.0;
+  }
+
+  if (shares_at_level(successes, pr, usable, n, kLevelLo, rho_out) <= 1.0) {
+    // Budget slack even at (almost) zero price: caps bind, lambda* = 0.
+    return 0.0;
+  }
+
+  // Build the event tables (SoA, scratch-backed): members with pr > 0 add
+  // a turn-on event at S/pr and a cap event at S/(pr + cap); a pr == 0
+  // member is active at every finite level, so it folds into the initial
+  // prefix state and only adds its cap event.
+  c_bp_solves.add();
+  rs.ev_lambda.resize(2 * n);
+  rs.ev_ds.resize(2 * n);
+  rs.ev_dpr.resize(2 * n);
+  rs.ev_dcap.resize(2 * n);
+  rs.ev_order.resize(2 * n);
+  std::size_t m = 0;
+  double A = 0.0;  // Σ S over active members of the current interval
+  double B = 0.0;  // Σ pr over active members
+  double C = 0.0;  // capped-member count
+  for (std::size_t k = 0; k < n; ++k) {
+    if (usable[k] == 0) continue;
+    const double s = successes[k];
+    const double p = pr[k];
+    if (p > 0.0) {
+      rs.ev_lambda[m] = s / p;  // turn-on: crossing downward activates k
+      rs.ev_ds[m] = s;
+      rs.ev_dpr[m] = p;
+      rs.ev_dcap[m] = 0.0;
+      ++m;
+    } else {
+      A += s;  // active at every finite level
+    }
+    rs.ev_lambda[m] = s / (p + kRhoCap);  // cap: downward saturates k
+    rs.ev_ds[m] = -s;
+    rs.ev_dpr[m] = -p;
+    rs.ev_dcap[m] = 1.0;
+    ++m;
+  }
+  c_bp_events.add(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    rs.ev_order[e] = static_cast<std::uint32_t>(e);
+  }
+  std::sort(rs.ev_order.begin(), rs.ev_order.begin() + m,
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (rs.ev_lambda[a] != rs.ev_lambda[b]) {
+                return rs.ev_lambda[a] > rs.ev_lambda[b];
+              }
+              return a < b;  // deterministic tie order
+            });
+
+  // Descending sweep: in each interval (bot, top] the closed-form
+  // candidate is accepted iff it lands inside the interval. g is
+  // continuous, non-increasing, and g(kLevelLo) > 1 was established
+  // above — but not strictly decreasing: with the cap equal to the whole
+  // budget, one saturated member makes g ≡ 1 across a flat region whose
+  // every boundary interval accepts. The canonical level is the LOWEST
+  // accepted candidate (the infimum of {λ : g(λ) <= 1}), which is the
+  // point the reference bisection converges to; candidates only shrink as
+  // the sweep descends, so the last acceptance wins.
+  double level = -1.0;
+  double top = std::numeric_limits<double>::infinity();
+  std::size_t e = 0;
+  while (true) {
+    const double bot = e < m ? rs.ev_lambda[rs.ev_order[e]] : kLevelLo;
+    if (A > 0.0) {
+      const double denom = 1.0 + B - C * kRhoCap;
+      if (denom > 0.0) {
+        const double cand = A / denom;
+        if (cand >= bot && cand <= top) level = cand;
+      }
+    }
+    if (e >= m) break;
+    const std::uint32_t ev = rs.ev_order[e];
+    A += rs.ev_ds[ev];
+    B += rs.ev_dpr[ev];
+    C += rs.ev_dcap[ev];
+    top = bot;
+    ++e;
+  }
+
+  if (level > 0.0) {
+    // Newton polish: reclassify every member exactly at the candidate and
+    // re-apply the closed form, purging the sweep's streaming-sum rounding.
+    // Within the correct interval this is one exact Newton step on the
+    // hyperbolic piece; crossing into a neighboring piece is harmless
+    // because g is continuous at breakpoints.
+    double pa = 0.0;
+    double pb = 0.0;
+    double pc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (usable[k] == 0) continue;
+      const double r = successes[k] / level - pr[k];
+      if (r >= kRhoCap) {
+        pc += 1.0;
+      } else if (r > 0.0) {
+        pa += successes[k];
+        pb += pr[k];
+      }
+    }
+    const double denom = 1.0 + pb - pc * kRhoCap;
+    if (pa > 0.0 && denom > 0.0) {
+      const double polished = pa / denom;
+      if (std::isfinite(polished) && polished > 0.0) {
+        if (polished != level) c_bp_polish.add();
+        level = polished;
+      }
+    }
+  }
+
+  double sum = level > 0.0
+                   ? shares_at_level(successes, pr, usable, n, level, rho_out)
+                   : 2.0;  // force the fallback
+  if (!(sum <= 1.0 + 1e-9)) {
+    // Numerical corner (never hit on the tested distributions): fall back
+    // to the reference bisection, which maintains a feasible bracket side.
+    c_bp_fallback.add();
+    level = bisect_level(successes, pr, usable, n, hi, rho_out);
+    sum = shares_at_level(successes, pr, usable, n, level, rho_out);
+  }
+  // KKT exit contracts: a finite positive water level and a primal point
+  // inside the slot budget.
+  FEMTOCR_CHECK_FINITE(level, "water-filling level must be finite");
+  FEMTOCR_DCHECK_LE(sum, 1.0 + 1e-9, "water-filled shares exceed the slot");
+  FEMTOCR_DCHECK_GE(level, 0.0, "water-filling price must be nonnegative");
+  return level;
 }
 
 /// Water-fills every resource of a fixed assignment. Writes the per-user
@@ -124,7 +267,7 @@ void waterfill_shares(const SlotContext& ctx, const SlotCache& cache,
     as.rho.resize(as.members.size());
     const double lambda0 =
         waterfill_level(as.successes.data(), rs.pr.data(), rs.usable.data(),
-                        as.members.size(), hi, as.rho.data());
+                        as.members.size(), hi, as.rho.data(), rs);
     for (std::size_t k = 0; k < as.members.size(); ++k) {
       as.rho_mbs[as.members[k]] = as.rho[k];
     }
@@ -158,7 +301,7 @@ void waterfill_shares(const SlotContext& ctx, const SlotCache& cache,
     as.rho.resize(as.members.size());
     const double li =
         waterfill_level(as.successes.data(), rs.pr.data(), rs.usable.data(),
-                        as.members.size(), hi_i, as.rho.data());
+                        as.members.size(), hi_i, as.rho.data(), rs);
     for (std::size_t k = 0; k < as.members.size(); ++k) {
       as.rho_fbs[as.members[k]] = as.rho[k];
     }
@@ -305,11 +448,17 @@ void check_cache_matches(const SlotContext& ctx, const SlotCache& cache,
 
 }  // namespace
 
-double waterfill_resource(const SlotContext& ctx,
-                          const std::vector<std::size_t>& users,
-                          const std::vector<double>& rates,
-                          const std::vector<double>& successes,
-                          std::vector<double>& rho_out) {
+namespace {
+
+/// Shared prologue of waterfill_resource and its bisection reference:
+/// validates the lists and hoists the price offsets, usable gate, and the
+/// price upper bound (above max_k S_k R_k / W_k every share is zero) into
+/// the scratch arena. Returns `hi`.
+double prepare_resource(const SlotContext& ctx,
+                        const std::vector<std::size_t>& users,
+                        const std::vector<double>& rates,
+                        const std::vector<double>& successes,
+                        ResourceScratch& rs) {
   FEMTOCR_CHECK(users.size() == rates.size() && users.size() == successes.size(),
                 "user, rate and success lists must align");
 #if FEMTOCR_DCHECK_IS_ON()
@@ -319,11 +468,9 @@ double waterfill_resource(const SlotContext& ctx,
     FEMTOCR_DCHECK_FINITE(rates[k], "effective rate must be finite");
   }
 #endif
-  ResourceScratch& rs = slot_scratch().resource;
   const std::size_t n = users.size();
   rs.pr.resize(n);
   rs.usable.resize(n);
-  // Price upper bound: above max_k S_k R_k / W_k every share is zero.
   double hi = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
     const UserState& u = ctx.users[users[k]];
@@ -334,9 +481,49 @@ double waterfill_resource(const SlotContext& ctx,
       hi = std::max(hi, successes[k] * rates[k] / u.psnr);
     }
   }
+  return hi;
+}
+
+}  // namespace
+
+double waterfill_resource(const SlotContext& ctx,
+                          const std::vector<std::size_t>& users,
+                          const std::vector<double>& rates,
+                          const std::vector<double>& successes,
+                          std::vector<double>& rho_out) {
+  ResourceScratch& rs = slot_scratch().resource;
+  const double hi = prepare_resource(ctx, users, rates, successes, rs);
+  const std::size_t n = users.size();
   rho_out.resize(n);
   return waterfill_level(successes.data(), rs.pr.data(), rs.usable.data(), n,
-                         hi, rho_out.data());
+                         hi, rho_out.data(), rs);
+}
+
+double waterfill_resource_reference(const SlotContext& ctx,
+                                    const std::vector<std::size_t>& users,
+                                    const std::vector<double>& rates,
+                                    const std::vector<double>& successes,
+                                    std::vector<double>& rho_out) {
+  ResourceScratch& rs = slot_scratch().resource;
+  const double hi = prepare_resource(ctx, users, rates, successes, rs);
+  const std::size_t n = users.size();
+  rho_out.resize(n);
+  std::fill(rho_out.begin(), rho_out.end(), 0.0);
+  if (n == 0) return 0.0;
+  if (hi <= 0.0) {
+    shares_at_level(successes.data(), rs.pr.data(), rs.usable.data(), n, 1.0,
+                    rho_out.data());
+    return 0.0;
+  }
+  if (shares_at_level(successes.data(), rs.pr.data(), rs.usable.data(), n,
+                      kLevelLo, rho_out.data()) <= 1.0) {
+    return 0.0;
+  }
+  const double level = bisect_level(successes.data(), rs.pr.data(),
+                                    rs.usable.data(), n, hi, rho_out.data());
+  shares_at_level(successes.data(), rs.pr.data(), rs.usable.data(), n, level,
+                  rho_out.data());
+  return level;
 }
 
 SlotAllocation waterfill_evaluate(const SlotContext& ctx,

@@ -3,7 +3,8 @@
 // For a *fixed* base-station assignment, problem (12)/(17) separates into
 // one concave single-resource problem per base station whose KKT point is a
 // water-filling: shares rho_j = [S_j/lambda - W_j/R_j]^+ with lambda chosen
-// by bisection so the slot budget binds. The binary assignment (Theorem 1)
+// analytically (sorted clamp breakpoints + one closed-form step per
+// interval, Newton-polished) so the slot budget binds. The binary assignment (Theorem 1)
 // is then improved by best-response against the current water levels until
 // it stabilizes. This solves the same convex program as the paper's
 // distributed subgradient (Tables I/II) but converges in a handful of
@@ -32,6 +33,17 @@ double waterfill_resource(const SlotContext& ctx,
                           const std::vector<double>& rates,
                           const std::vector<double>& successes,
                           std::vector<double>& rho_out);
+
+/// Reference level solver: the pre-breakpoint 100-step bisection, same
+/// contract and share expressions as waterfill_resource. Kept as the
+/// oracle for the breakpoint-equivalence tests (≤ 1e-9 relative level
+/// error) and as the analytic solver's internal numerical fallback; not a
+/// hot path.
+double waterfill_resource_reference(const SlotContext& ctx,
+                                    const std::vector<std::size_t>& users,
+                                    const std::vector<double>& rates,
+                                    const std::vector<double>& successes,
+                                    std::vector<double>& rho_out);
 
 /// Solves the slot problem for given expected channel counts per FBS.
 /// Assignment is found by best-response iteration (tracks and returns the

@@ -3,9 +3,12 @@
 // feasibility of the recovered primal, and Theorem 1's binary assignment.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/dual_solver.h"
 #include "core/waterfill.h"
 #include "test_helpers.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace femtocr::core {
@@ -318,6 +321,76 @@ TEST(DualSolver, RejectsBadRetryBackoff) {
   EXPECT_THROW(solve_dual(f.ctx, {1.0}, o), std::logic_error);
   o.retry_backoff = 1.5;
   EXPECT_THROW(solve_dual(f.ctx, {1.0}, o), std::logic_error);
+}
+
+TEST(DualSolver, WarmStartMissCountingRespectsTheFeatureSwitch) {
+  // Metrics regression (the hit-rate denominator bug): a cold one-shot
+  // solve must count NEITHER a hit nor a miss; a chained caller
+  // (warm_start_enabled) without prices counts a miss; carried prices
+  // count a hit regardless.
+  util::Rng rng(601);
+  auto f = test::random_context(rng, 3, 1, 3);
+  const std::vector<double> gt = {f.ctx.total_expected_channels()};
+  util::Counter& hits =
+      util::metrics().counter("core.dual.warm_start.hits");
+  util::Counter& misses =
+      util::metrics().counter("core.dual.warm_start.misses");
+
+  const std::uint64_t h0 = hits.total();
+  const std::uint64_t m0 = misses.total();
+  const DualResult cold = solve_dual(f.ctx, gt, tuned());
+  EXPECT_EQ(hits.total(), h0);
+  EXPECT_EQ(misses.total(), m0);
+
+  DualOptions chained = tuned();
+  chained.warm_start_enabled = true;
+  (void)solve_dual(f.ctx, gt, chained);
+  EXPECT_EQ(hits.total(), h0);
+  EXPECT_EQ(misses.total(), m0 + 1);
+
+  chained.warm_start = cold.lambda;
+  (void)solve_dual(f.ctx, gt, chained);
+  EXPECT_EQ(hits.total(), h0 + 1);
+  EXPECT_EQ(misses.total(), m0 + 1);
+}
+
+TEST(DualSolver, WarmChainStaysWithinPropertyBound) {
+  // A warm-started chain over slowly drifting instances must satisfy the
+  // same optimality band as cold solves: within 1% of the 2^K-exhaustive
+  // optimum and never above it — a poisoned or stale-but-accepted seed
+  // would break the lower edge, an infeasible recovery the upper one.
+  util::Rng rng(607);
+  auto f = test::random_context(rng, 6, 1, 3);
+  DualOptions cold_opts = tuned();
+  DualOptions warm_opts = tuned();
+  warm_opts.warm_start_enabled = true;
+  std::vector<double> warm;
+  for (int slot = 0; slot < 5; ++slot) {
+    if (slot > 0) {
+      for (UserState& u : f.ctx.users) {  // a few percent of per-slot drift
+        u.success_mbs = std::min(0.99, u.success_mbs * rng.uniform(0.98, 1.02));
+        u.success_fbs = std::min(0.99, u.success_fbs * rng.uniform(0.98, 1.02));
+        u.rate_mbs = u.rate_mbs * rng.uniform(0.98, 1.02);
+        u.rate_fbs = u.rate_fbs * rng.uniform(0.98, 1.02);
+      }
+    }
+    const std::vector<double> gt = {f.ctx.total_expected_channels()};
+    if (warm.size() == f.ctx.num_fbs + 1) {
+      warm_opts.warm_start = warm;
+    } else {
+      warm_opts.warm_start.reset();
+    }
+    const DualResult hot = solve_dual(f.ctx, gt, warm_opts);
+    const DualResult cold = solve_dual(f.ctx, gt, cold_opts);
+    const SlotAllocation e = waterfill_solve_exhaustive(f.ctx, gt);
+    ASSERT_TRUE(hot.converged) << "slot " << slot;
+    warm = hot.lambda;
+    for (const DualResult* d : {&hot, &cold}) {
+      EXPECT_LE(d->allocation.objective, e.objective + 1e-6)
+          << "slot " << slot;
+      EXPECT_GE(d->allocation.objective, 0.99 * e.objective) << "slot " << slot;
+    }
+  }
 }
 
 }  // namespace

@@ -29,8 +29,15 @@ Modes:
       speed — or (b) the gated timer's total wall clock exceeds the
       baseline by more than --tolerance (default 0.15, i.e. +15%). The
       default timer is bench.stress.slot_solve, the per-slot solve wall
-      clock of bench/stress_scale. Regenerate the baseline with:
-        ./build/bench/stress_scale --grid=smoke --metrics-out=BENCH_baseline.json
+      clock of bench/stress_scale. Regenerate the baseline with
+      tools/regen_baseline.sh (Release build, 3 runs merged by --merge-min).
+  metrics_report.py --merge-min OUT IN1 IN2 [IN3 ...]
+      Merge repeated runs of the same bench into one dump that keeps the
+      minimum wall clock per timer (the standard best-of-N noise filter
+      for a shared CI runner). Counters and timer counts must be bitwise
+      identical across the inputs — the benches are deterministic, so any
+      drift between repeats means the runs were not equivalent and the
+      merge fails (exit 1). Manifest and histograms are taken from IN1.
 
 Exit status: 0 on success/valid, 1 on invalid input, 2 on usage errors.
 """
@@ -204,6 +211,54 @@ def diff(base: dict, cand: dict) -> str:
     return "\n".join(out)
 
 
+def merge_min(docs: list[dict]) -> tuple[dict | None, list[str]]:
+    """Best-of-N merge: min wall clock per timer, counters pinned equal.
+
+    Returns (merged, problems); merged is None when problems is nonempty.
+    """
+    problems: list[str] = []
+    first = docs[0]
+
+    for i, doc in enumerate(docs[1:], start=2):
+        if set(doc["counters"]) != set(first["counters"]):
+            problems.append(f"run {i}: counter name set differs from run 1")
+            continue
+        for name, value in first["counters"].items():
+            if doc["counters"][name] != value:
+                problems.append(
+                    f"run {i}: counter {name}: {doc['counters'][name]} != "
+                    f"{value} in run 1 (deterministic runs must agree)")
+
+    for i, doc in enumerate(docs[1:], start=2):
+        if set(doc["timers_ns"]) != set(first["timers_ns"]):
+            problems.append(f"run {i}: timer name set differs from run 1")
+            continue
+        for name, t in first["timers_ns"].items():
+            if doc["timers_ns"][name]["count"] != t["count"]:
+                problems.append(
+                    f"run {i}: timer {name}: count "
+                    f"{doc['timers_ns'][name]['count']} != {t['count']} in "
+                    "run 1 (deterministic runs must agree)")
+    if problems:
+        return None, problems
+
+    merged = {
+        "manifest": first["manifest"],
+        "counters": first["counters"],
+        "histograms": first["histograms"],
+        "timers_ns": {
+            name: {
+                "count": t["count"],
+                "total_ns": min(d["timers_ns"][name]["total_ns"]
+                                for d in docs),
+                "max_ns": min(d["timers_ns"][name]["max_ns"] for d in docs),
+            }
+            for name, t in first["timers_ns"].items()
+        },
+    }
+    return merged, problems
+
+
 GATE_COUNTER_PREFIXES = ("core.", "bench.stress.")
 
 
@@ -262,6 +317,8 @@ def main(argv: list[str]) -> int:
                         help="row cap for --top-timers (default 10)")
     parser.add_argument("--gate", action="store_true",
                         help="perf-regression gate: BASELINE CANDIDATE")
+    parser.add_argument("--merge-min", action="store_true",
+                        help="merge repeated runs: OUT IN1 IN2 [IN3 ...]")
     parser.add_argument("--timer", default="bench.stress.slot_solve",
                         help="timer gated by --gate "
                              "(default: bench.stress.slot_solve)")
@@ -269,6 +326,37 @@ def main(argv: list[str]) -> int:
                         help="allowed relative wall-clock regression for "
                              "--gate (default 0.15)")
     args = parser.parse_args(argv)
+
+    if args.merge_min:
+        # OUT is written, not read — peel it off before the shared load.
+        if len(args.files) < 3:
+            parser.error("--merge-min takes OUT IN1 IN2 [IN3 ...]")
+        out_path, in_paths = args.files[0], args.files[1:]
+        try:
+            docs = [load(p) for p in in_paths]
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"metrics_report: {e}", file=sys.stderr)
+            return 1
+        for path, doc in zip(in_paths, docs):
+            bad = check_schema(doc)
+            if bad:
+                print(f"metrics_report: {path} invalid: {bad[0]}",
+                      file=sys.stderr)
+                return 1
+        merged, problems = merge_min(docs)
+        for p in problems:
+            print(f"merge-min: FAIL: {p}")
+        if merged is None:
+            return 1
+        with out_path.open("w", encoding="utf-8") as f:
+            json.dump(merged, f, indent=2)
+            f.write("\n")
+        gated = merged["timers_ns"].get("bench.stress.slot_solve")
+        detail = (f", bench.stress.slot_solve min "
+                  f"{fmt_ns(gated['total_ns'])}" if gated else "")
+        print(f"merge-min: wrote {out_path} "
+              f"({len(docs)} runs{detail})")
+        return 0
 
     try:
         docs = [load(p) for p in args.files]
