@@ -8,6 +8,10 @@
 //   --metrics-out=FILE dump the process-wide metrics registry as JSON on
 //                      report() (schema: docs/OBSERVABILITY.md, validated
 //                      by tools/metrics_report.py --check)
+//   --trace-out=FILE   enable span tracing (unless FEMTOCR_TRACE explicitly
+//                      disabled it) and dump the Chrome trace-event JSON on
+//                      report() (schema: docs/OBSERVABILITY.md, validated
+//                      by tools/trace_report.py --check)
 //
 // The timing line goes to *stderr*, one machine-parseable line:
 //   timing: bench=<name> threads=<t> replications=<n> elapsed_s=<s> reps_per_s=<r>
@@ -25,6 +29,7 @@
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace femtocr::benchutil {
 
@@ -42,8 +47,8 @@ class Harness {
     if (slash != std::string::npos) name_ = name_.substr(slash + 1);
     manifest_ = util::make_metrics_manifest(argc, argv);
     const std::string supported =
-        " (supported: --runs=N --threads=N --metrics-out=FILE" + extra_help +
-        ")\n";
+        " (supported: --runs=N --threads=N --metrics-out=FILE"
+        " --trace-out=FILE" + extra_help + ")\n";
     try {
       const util::Args args(argc, argv);
       runs_ = static_cast<std::size_t>(
@@ -53,6 +58,10 @@ class Harness {
       util::set_default_threads(threads);
       manifest_.threads = util::default_threads();
       metrics_path_ = args.get("metrics-out", std::string());
+      trace_path_ = args.get("trace-out", std::string());
+      if (!trace_path_.empty() && !util::trace_env_disabled()) {
+        util::set_trace_enabled(true);
+      }
       if (extra_flags) extra_flags(args);
       const auto unknown = args.unconsumed();
       if (!unknown.empty()) {
@@ -95,12 +104,17 @@ class Harness {
 
  private:
   void dump_metrics() {
-    if (metrics_path_.empty() || dumped_) return;
+    if ((metrics_path_.empty() && trace_path_.empty()) || dumped_) return;
     dumped_ = true;
     static util::TimerStat& t_total =
         util::metrics().timer("bench.total");
     t_total.record_ns(watch_.elapsed_ns());
-    util::write_metrics_file(metrics_path_, manifest_);
+    if (!metrics_path_.empty()) {
+      util::write_metrics_file(metrics_path_, manifest_);
+    }
+    if (!trace_path_.empty()) {
+      util::write_trace_file(trace_path_, manifest_);
+    }
   }
 
   std::string name_;
@@ -108,6 +122,7 @@ class Harness {
   util::Stopwatch watch_;
   util::MetricsManifest manifest_;
   std::string metrics_path_;
+  std::string trace_path_;
   bool dumped_ = false;
 };
 

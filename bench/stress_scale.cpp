@@ -34,6 +34,7 @@
 #include "util/mathx.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -164,15 +165,23 @@ int main(int argc, char** argv) {
         std::vector<double> warm;
         for (std::size_t slot = 0; slot < kChainSlots; ++slot) {
           if (slot > 0) drift_fixture(f, drift_rng);
+          // The bench drives core::solve_dual directly, so it synthesizes
+          // the simulator's sim.slot / sim.slot.allocate span envelope
+          // itself; trace tooling then applies the same nesting checks to
+          // bench traces as to simulator traces.
+          util::ScopedSpan slot_span("sim.slot");
+          slot_span.arg("slot", static_cast<double>(slot));
+          slot_span.arg("run", static_cast<double>(rep));
           const std::vector<double> gt(cell.fbs,
                                        f.ctx.total_expected_channels());
-          cache.build(f.ctx);
           if (warm.size() == cell.fbs + 1) {
             opts.warm_start = warm;
           } else {
             opts.warm_start.reset();
           }
           c_solves.add();
+          const util::ScopedSpan alloc_span("sim.slot.allocate");
+          cache.build(f.ctx);
           const util::ScopedTimer timer(t_solve);
           const core::DualResult res =
               core::solve_dual(f.ctx, cache, gt, opts);
@@ -187,8 +196,11 @@ int main(int argc, char** argv) {
       } else {
         Fixture f = make_fixture(cell, /*ring=*/true, rep);
         core::SlotCache cache;
-        cache.build(f.ctx);
+        util::ScopedSpan slot_span("sim.slot");
+        slot_span.arg("run", static_cast<double>(rep));
         c_solves.add();
+        const util::ScopedSpan alloc_span("sim.slot.allocate");
+        cache.build(f.ctx);
         const util::ScopedTimer timer(t_solve);
         const core::GreedyResult res = core::greedy_allocate(f.ctx, cache);
         sum_objective += res.allocation.objective;

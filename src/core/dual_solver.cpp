@@ -16,6 +16,7 @@
 #include "util/mathx.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace femtocr::core {
 
@@ -322,6 +323,7 @@ DualResult solve_dual(const SlotContext& ctx, const SlotCache& cache,
       util::metrics().histogram("core.dual.iterations_per_solve");
   static util::TimerStat& t_solve = util::metrics().timer("core.dual.solve");
   const util::ScopedTimer timer(t_solve);
+  util::ScopedSpan span("core.dual.solve");
 
   // The cache's build() validated the context and the per-user contracts;
   // only the per-call arguments are checked here.
@@ -461,6 +463,7 @@ DualResult solve_dual(const SlotContext& ctx, const SlotCache& cache,
     // Retry with step-size backoff: continue from the current (warm)
     // prices with a smaller step and a fresh iteration budget.
     fallback_counters().retries.add();
+    util::trace_note_anomaly("core.dual.fallback.retries");
     step *= options.retry_backoff;
     ++result.retries;
   }
@@ -479,10 +482,12 @@ DualResult solve_dual(const SlotContext& ctx, const SlotCache& cache,
   // the in-loop DCHECK first).
   if (!result.converged) {
     fallback_counters().nonconverged.add();
+    util::trace_note_anomaly("core.dual.fallback.nonconverged");
     bool finite = true;
     for (const double l : ds.lambda) finite = finite && std::isfinite(l);
     if (!finite) {
       fallback_counters().nonfinite_prices.add();
+      util::trace_note_anomaly("core.dual.fallback.nonfinite_prices");
       std::fill(ds.lambda.begin(), ds.lambda.end(), options.initial_lambda);
     }
   }
@@ -541,15 +546,19 @@ DualResult solve_dual(const SlotContext& ctx, const SlotCache& cache,
     switch (recovery) {
       case DualRecovery::kBestIterate:
         fallback_counters().best_iterate.add();
+        util::trace_note_anomaly("core.dual.fallback.best_iterate");
         break;
       case DualRecovery::kGreedy:
         fallback_counters().greedy.add();
+        util::trace_note_anomaly("core.dual.fallback.greedy");
         break;
       case DualRecovery::kEqual:
         fallback_counters().equal.add();
+        util::trace_note_anomaly("core.dual.fallback.equal");
         break;
       default:
         fallback_counters().last_iterate.add();
+        util::trace_note_anomaly("core.dual.fallback.last_iterate");
         break;
     }
   }
@@ -590,6 +599,15 @@ DualResult solve_dual(const SlotContext& ctx, const SlotCache& cache,
     }
   }
 #endif
+
+  // Solver context for the flight recorder: captured with the span when a
+  // slot is frozen, so a postmortem shows what the solve did without
+  // replaying it. Degradation rung encoding matches DualRecovery.
+  span.arg("iterations", static_cast<double>(result.iterations));
+  span.arg("converged", result.converged ? 1.0 : 0.0);
+  span.arg("recovery", static_cast<double>(static_cast<int>(result.recovery)));
+  span.arg("retries", static_cast<double>(result.retries));
+  span.arg("lambda0", result.lambda.empty() ? 0.0 : result.lambda[0]);
 
   // Every FBS holds its assigned expected channel count; the channel id
   // lists are the caller's to fill (they depend on how gt was produced).

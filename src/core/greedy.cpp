@@ -15,6 +15,7 @@
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace femtocr::core {
 
@@ -28,6 +29,7 @@ GreedyResult greedy_allocate(const SlotContext& ctx, const SlotCache& cache) {
   static util::TimerStat& t_alloc =
       util::metrics().timer("core.greedy.allocate");
   const util::ScopedTimer timer(t_alloc);
+  const util::ScopedSpan span("core.greedy.allocate");
   c_allocs.add();
 
   // The cache's build() validated the context; re-check only what is not

@@ -6,6 +6,7 @@
 #include "core/subproblem.h"
 #include "util/check.h"
 #include "util/mathx.h"
+#include "util/trace.h"
 
 namespace femtocr::core::protocol {
 
@@ -67,6 +68,7 @@ PriceBroadcast MbsAgent::on_reports(const std::vector<ShareReport>& reports,
 ProtocolResult run_protocol(const SlotContext& ctx,
                             const std::vector<double>& gt_per_fbs,
                             const DualOptions& options) {
+  util::ScopedSpan span("core.protocol.run");
   ctx.validate();
   FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
                 "need one expected channel count per FBS");
@@ -122,6 +124,9 @@ ProtocolResult run_protocol(const SlotContext& ctx,
   alloc.dual_iterations = result.rounds;
   result.allocation = std::move(alloc);
   result.lambda = std::move(prices.lambda);
+  span.arg("rounds", static_cast<double>(result.rounds));
+  span.arg("converged", result.converged ? 1.0 : 0.0);
+  span.arg("uplink_messages", static_cast<double>(result.uplink_messages));
   return result;
 }
 

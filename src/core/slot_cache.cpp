@@ -6,6 +6,7 @@
 
 #include "util/check.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace femtocr::core {
 
@@ -17,6 +18,7 @@ void SlotCache::build(const SlotContext& ctx) {
   static util::TimerStat& t_build =
       util::metrics().timer("core.slotcache.build");
   const util::ScopedTimer timer(t_build);
+  const util::ScopedSpan span("core.slotcache.build");
 
   // One validation pass covers the argument contracts the hot paths used
   // to re-check per call (positive PSNR, probability-ranged S, finite

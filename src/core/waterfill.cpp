@@ -14,6 +14,7 @@
 #include "util/check.h"
 #include "util/mathx.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace femtocr::core {
 
@@ -217,6 +218,7 @@ double waterfill_level(const double* successes, const double* pr,
     // Numerical corner (never hit on the tested distributions): fall back
     // to the reference bisection, which maintains a feasible bracket side.
     c_bp_fallback.add();
+    util::trace_note_anomaly("core.waterfill.breakpoint.bisect_fallback");
     level = bisect_level(successes, pr, usable, n, hi, rho_out);
     sum = shares_at_level(successes, pr, usable, n, level, rho_out);
   }
@@ -556,6 +558,7 @@ SlotAllocation waterfill_solve(const SlotContext& ctx, const SlotCache& cache,
   static util::TimerStat& t_solve =
       util::metrics().timer("core.waterfill.solve");
   const util::ScopedTimer timer(t_solve);
+  const util::ScopedSpan span("core.waterfill.solve");
   c_solves.add();
 
   check_cache_matches(ctx, cache, gt_per_fbs);
@@ -575,6 +578,7 @@ double waterfill_solve_objective(const SlotContext& ctx,
   static util::TimerStat& t_solve =
       util::metrics().timer("core.waterfill.solve");
   const util::ScopedTimer timer(t_solve);
+  const util::ScopedSpan span("core.waterfill.solve");
   c_solves.add();
 
   check_cache_matches(ctx, cache, gt_per_fbs);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/heuristics.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/stats.h"
+#include "util/trace.h"
 #include "video/mgs_model.h"
 
 namespace femtocr::sim {
@@ -94,6 +96,7 @@ Simulator::Simulator(const Scenario& scenario,
                      std::size_t run_index)
     : scenario_(scenario),
       kind_(core::SchemeKind::kProposed),
+      run_index_(run_index),
       topology_(build_topology(scenario)),
       scheme_(std::move(scheme)),
       rng_(util::Rng(scenario.seed).split(0x5151 + run_index).seed()),
@@ -150,7 +153,10 @@ core::SlotContext Simulator::make_context(
   ctx.graph = &topology_.graph();
   ctx.sinr_threshold = scenario_.radio.sinr_threshold;
   ctx.solver_iteration_cap = fault_plan_.iteration_cap(slot);
-  if (ctx.solver_iteration_cap > 0) fault_counters().budget_squeezes.add();
+  if (ctx.solver_iteration_cap > 0) {
+    fault_counters().budget_squeezes.add();
+    util::trace_note_anomaly("sim.faults.budget_squeezes");
+  }
   for (std::size_t m : obs.available) {
     ctx.available.push_back(m);
     ctx.posterior.push_back(obs.posteriors[m]);
@@ -172,6 +178,7 @@ core::SlotContext Simulator::make_context(
     u.sinr_fbs = topology_.fbs_link(j).draw_sinr(fading_rng);
     if (fault_plan_.enabled() && fault_plan_.fbs_down(slot, u.fbs)) {
       fault_counters().fbs_outages.add();
+      util::trace_note_anomaly("sim.faults.fbs_outages");
       u.success_fbs = 0.0;  // downed radio: no licensed-side delivery
       u.sinr_fbs = 0.0;
     }
@@ -189,6 +196,7 @@ void Simulator::apply_spectrum_faults(std::size_t slot,
   // budget holds with respect to the beliefs the network acts on.
   if (fault_plan_.sensing_outage(slot) && !last_posteriors_.empty()) {
     fault_counters().sensing_outages.add();
+    util::trace_note_anomaly("sim.faults.sensing_outages");
     obs.posteriors = last_posteriors_;
     obs.access = spectrum::decide_access(obs.posteriors,
                                          scenario_.spectrum.gamma, fault_rng_);
@@ -207,6 +215,7 @@ void Simulator::apply_spectrum_faults(std::size_t slot,
         obs.true_states[m] == spectrum::ChannelState::kIdle) {
       obs.true_states[m] = spectrum::ChannelState::kBusy;
       fault_counters().primary_bursts.add();
+      util::trace_note_anomaly("sim.faults.primary_bursts");
     }
   }
 }
@@ -221,7 +230,10 @@ RunResult Simulator::run() {
   static util::Counter& c_slots = util::metrics().counter("sim.slots");
   static util::Histogram& h_gap =
       util::metrics().histogram("sim.slot.bound_gap");
+  static util::Histogram& h_latency =
+      util::metrics().histogram("sim.slot.decision_latency_ns");
   const util::ScopedTimer run_timer(t_run);
+  const util::ScopedSpan run_span("sim.run");
 
   util::Rng spectrum_rng = rng_.split(0xA1);
   util::Rng fading_rng = rng_.split(0xB2);
@@ -246,7 +258,20 @@ RunResult Simulator::run() {
 
   util::Rng mobility_rng = rng_.split(0xC3);
 
+  // Decision-latency series for the per-run SLO fold. Wall-clock data:
+  // collected only when metrics or tracing are on, never printed to stdout.
+  std::vector<std::int64_t> latencies;
+
   for (std::size_t t = 0; t < total_slots; ++t) {
+    // The slot span + ring mark open before any slot work so the flight
+    // recorder's harvest at the slot boundary sees the whole subtree.
+    const std::uint64_t slot_mark = util::trace_slot_mark();
+    std::optional<util::ScopedSpan> slot_span;
+    slot_span.emplace("sim.slot");
+    slot_span->arg("slot", static_cast<double>(t));
+    slot_span->arg("run", static_cast<double>(run_index_));
+    std::int64_t decision_ns = 0;
+
     // Pedestrian movement + handoff at GOP boundaries (not mid-GOP: block
     // fading already models slot-scale variation; position changes at the
     // play-out timescale).
@@ -264,6 +289,7 @@ RunResult Simulator::run() {
     spectrum::SlotObservation obs;
     {
       const util::ScopedTimer st(t_spectrum);
+      const util::ScopedSpan sp("sim.slot.spectrum");
       obs = spectrum.observe_slot(t, spectrum_rng);
     }
     if (fault_plan_.enabled()) apply_spectrum_faults(t, obs);
@@ -275,15 +301,26 @@ RunResult Simulator::run() {
     core::SlotContext ctx = make_context(obs, fading_rng, t);
     core::SlotAllocation alloc;
     {
-      const util::ScopedTimer st(t_allocate);
+      // Manual stopwatch instead of a ScopedTimer: the same reading feeds
+      // the timer, the latency histogram, and the per-run SLO fold.
+      const util::ScopedSpan sp("sim.slot.allocate");
+      const bool timed = util::metrics_enabled() || util::trace_enabled();
+      const std::int64_t begin_ns = timed ? util::monotonic_now_ns() : 0;
       if (fault_plan_.enabled() && fault_plan_.control_loss(t)) {
         // Control/feedback loss: the coordinator's decision never reaches
         // the base stations this slot, and each falls back to the local
         // equal-share rule it can compute without the control channel.
         fault_counters().control_losses.add();
+        util::trace_note_anomaly("sim.faults.control_losses");
         alloc = core::heuristic_equal_allocation(ctx);
       } else {
         alloc = scheme_->allocate(ctx);
+      }
+      if (timed) {
+        decision_ns = util::monotonic_now_ns() - begin_ns;
+        t_allocate.record_ns(decision_ns);
+        h_latency.observe(static_cast<double>(decision_ns));
+        latencies.push_back(decision_ns);
       }
     }
 #if FEMTOCR_DCHECK_IS_ON()
@@ -319,6 +356,8 @@ RunResult Simulator::run() {
                     static_cast<double>(sessions_.size());
 
     const util::ScopedTimer deliver_timer(t_deliver);
+    std::optional<util::ScopedSpan> deliver_span;
+    deliver_span.emplace("sim.slot.deliver");
     for (std::size_t j = 0; j < sessions_.size(); ++j) {
       const core::UserState& u = ctx.users[j];
       double increment = 0.0;
@@ -400,6 +439,7 @@ RunResult Simulator::run() {
       bound_sessions_[j].end_slot(t);
       if (packet_mode) packet_streams_[j].end_slot(t);
     }
+    deliver_span.reset();
     if (trace_ != nullptr) trace_->record(std::move(trace_entry));
 
     // State-following bound readout at GOP boundaries: the delivered W_T
@@ -415,6 +455,16 @@ RunResult Simulator::run() {
       }
       gop_bump_sum = 0.0;
     }
+
+    // Close the slot span, then harvest: any anomaly note a fault or
+    // solver-fallback site tagged during this slot freezes the slot's span
+    // subtree (sim.slot included) into the postmortem pool.
+    slot_span.reset();
+    util::SlotPostmortemContext pm;
+    pm.run = run_index_;
+    pm.slot = t;
+    pm.latency_ns = decision_ns;
+    util::trace_flight_record_slot(pm, slot_mark);
   }
 
   result.slots = total_slots;
@@ -439,6 +489,18 @@ RunResult Simulator::run() {
                    : 0.0;
   result.avg_available = sum_available / static_cast<double>(total_slots);
   result.avg_expected_channels = sum_gt / static_cast<double>(total_slots);
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto pct = [&](double q) {
+      auto rank = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(latencies.size())));
+      if (rank == 0) rank = 1;
+      return latencies[rank - 1];
+    };
+    result.decision_latency_p50_ns = pct(0.50);
+    result.decision_latency_p90_ns = pct(0.90);
+    result.decision_latency_p99_ns = pct(0.99);
+  }
   return result;
 }
 

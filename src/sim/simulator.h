@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -44,6 +45,13 @@ struct RunResult {
   double avg_expected_channels = 0.0;  ///< average G_t
   std::size_t total_dual_iterations = 0;
   std::size_t slots = 0;
+  /// Per-run decision-latency SLO fold (nearest-rank percentiles over the
+  /// slot allocate latencies). Wall-clock values: populated only when
+  /// metrics or tracing are enabled, exported to JSON/stderr only, and
+  /// never allowed to feed a SchemeSummary or stdout.
+  std::int64_t decision_latency_p50_ns = 0;
+  std::int64_t decision_latency_p90_ns = 0;
+  std::int64_t decision_latency_p99_ns = 0;
 };
 
 class Simulator {
@@ -95,6 +103,7 @@ class Simulator {
 
   Scenario scenario_;  ///< copied: the simulator outlives the caller's config
   core::SchemeKind kind_;
+  std::size_t run_index_ = 0;  ///< postmortem identity for the flight recorder
   net::Topology topology_;
   std::unique_ptr<core::Scheme> scheme_;
   util::Rng rng_;

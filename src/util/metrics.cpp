@@ -9,6 +9,10 @@
 #include <ostream>
 #include <string_view>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "util/args.h"
 #include "util/log.h"
 #include "util/parallel.h"
@@ -211,11 +215,22 @@ std::uint64_t TimerStat::max_ns() const {
   return out;
 }
 
+std::vector<std::uint64_t> TimerStat::bucket_counts() const {
+  std::vector<std::uint64_t> out(Histogram::kNumBuckets, 0);
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      out[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
 void TimerStat::reset() {
   for (auto& s : shards_) {
     s.count.store(0, std::memory_order_relaxed);
     s.total_ns.store(0, std::memory_order_relaxed);
     s.max_ns.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -309,8 +324,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   }
   snap.timers.reserve(im.timers.size());
   for (const auto& [name, t] : im.timers) {
-    snap.timers.emplace_back(
-        name, TimerSnapshot{t->count(), t->total_ns(), t->max_ns()});
+    TimerSnapshot ts{t->count(), t->total_ns(), t->max_ns(), {}};
+    const std::vector<std::uint64_t> counts = t->bucket_counts();
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      if (counts[b] == 0) continue;
+      ts.buckets.push_back(
+          {Histogram::bucket_lo(b), Histogram::bucket_hi(b), counts[b]});
+    }
+    snap.timers.emplace_back(name, std::move(ts));
   }
   return snap;
 }
@@ -373,6 +394,22 @@ MetricsManifest make_metrics_manifest(int argc, const char* const* argv) {
     if (i > 0) m.cli += ' ';
     m.cli += argv[i];
   }
+#ifdef FEMTOCR_GIT_SHA
+  m.git_sha = FEMTOCR_GIT_SHA;
+#else
+  m.git_sha = "unknown";
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  char host[256] = {};
+  if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    m.hostname = host;
+  } else {
+    m.hostname = "unknown";
+  }
+#else
+  m.hostname = "unknown";
+#endif
+  m.started_at = wall_clock_iso8601();
   return m;
 }
 
@@ -390,6 +427,12 @@ void write_metrics_json(std::ostream& os, const MetricsManifest& manifest) {
   json_string(os, build_type_string());
   os << ",\n    \"metrics_enabled\": "
      << (metrics_enabled() ? "true" : "false");
+  os << ",\n    \"git_sha\": ";
+  json_string(os, manifest.git_sha);
+  os << ",\n    \"hostname\": ";
+  json_string(os, manifest.hostname);
+  os << ",\n    \"started_at\": ";
+  json_string(os, manifest.started_at);
   os << ",\n    \"cli\": ";
   json_string(os, manifest.cli);
   os << "\n  },\n";
@@ -432,7 +475,16 @@ void write_metrics_json(std::ostream& os, const MetricsManifest& manifest) {
     os << (i > 0 ? ",\n    " : "\n    ");
     json_string(os, name);
     os << ": {\"count\": " << t.count << ", \"total_ns\": " << t.total_ns
-       << ", \"max_ns\": " << t.max_ns << '}';
+       << ", \"max_ns\": " << t.max_ns << ", \"buckets\": [";
+    for (std::size_t b = 0; b < t.buckets.size(); ++b) {
+      if (b > 0) os << ", ";
+      os << "{\"lo\": ";
+      json_number(os, t.buckets[b].lo);
+      os << ", \"hi\": ";
+      json_number(os, t.buckets[b].hi);
+      os << ", \"count\": " << t.buckets[b].count << '}';
+    }
+    os << "]}";
   }
   os << (snap.timers.empty() ? "}\n" : "\n  }\n");
   os << "}\n";

@@ -179,8 +179,10 @@ class Histogram {
 
 // ------------------------------------------------------------------ timer ----
 
-/// Accumulated wall-clock statistic: call count, total and max nanoseconds.
-/// Values are nondeterministic by nature; they are exported to JSON only.
+/// Accumulated wall-clock statistic: call count, total and max nanoseconds,
+/// plus log-bucketed duration counts (the Histogram bucketer applied to
+/// nanoseconds) so p50/p90/p99 are derivable from any dump. Values are
+/// nondeterministic by nature; they are exported to JSON only.
 class TimerStat {
  public:
   TimerStat() = default;
@@ -194,11 +196,15 @@ class TimerStat {
     s.count.fetch_add(1, std::memory_order_relaxed);
     s.total_ns.fetch_add(d, std::memory_order_relaxed);
     metrics_detail::fold_max_u64(s.max_ns, d);
+    s.buckets[Histogram::bucket_index(static_cast<double>(d))].fetch_add(
+        1, std::memory_order_relaxed);
   }
 
   std::uint64_t count() const;
   std::uint64_t total_ns() const;
   std::uint64_t max_ns() const;
+  /// Folded per-bucket duration counts, all Histogram::kNumBuckets slots.
+  std::vector<std::uint64_t> bucket_counts() const;
 
   void reset();
 
@@ -207,6 +213,7 @@ class TimerStat {
     std::atomic<std::uint64_t> count{0};
     std::atomic<std::uint64_t> total_ns{0};
     std::atomic<std::uint64_t> max_ns{0};
+    std::atomic<std::uint64_t> buckets[Histogram::kNumBuckets]{};
   };
   Shard shards_[kMetricShards];
 };
@@ -250,6 +257,7 @@ struct TimerSnapshot {
   std::uint64_t count = 0;
   std::uint64_t total_ns = 0;
   std::uint64_t max_ns = 0;
+  std::vector<HistogramBucketSnapshot> buckets;  ///< nonzero buckets only
 };
 
 /// A folded, name-sorted copy of every registered metric.
@@ -296,10 +304,15 @@ struct MetricsManifest {
   std::size_t threads = 0;   ///< resolved worker count (default_threads())
   std::string scheme;        ///< scheme under test ("all" for comparisons)
   std::string cli;           ///< the argv the process was started with
+  std::string git_sha;       ///< build's git revision ("unknown" outside git)
+  std::string hostname;      ///< machine that produced the dump
+  std::string started_at;    ///< UTC ISO-8601 process start (JSON-only:
+                             ///< wall-clock data never reaches stdout)
 };
 
-/// Fills threads and the joined argv; seed/scheme stay at their defaults
-/// for the caller to override.
+/// Fills threads, the joined argv, and the provenance fields (git_sha from
+/// the build, hostname and started_at from the runtime); seed/scheme stay
+/// at their defaults for the caller to override.
 MetricsManifest make_metrics_manifest(int argc, const char* const* argv);
 
 /// Writes the full registry as one JSON document:

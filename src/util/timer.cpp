@@ -1,6 +1,8 @@
 #include "util/timer.h"
 
 #include <chrono>
+#include <cstdio>
+#include <ctime>
 
 namespace femtocr::util {
 
@@ -9,6 +11,25 @@ std::int64_t monotonic_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+std::string wall_clock_iso8601() {
+  // The one sanctioned wall-clock (system_clock) read: provenance strings
+  // for the JSON manifests. Seconds precision is plenty for "which run
+  // produced this dump".
+  const std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec);
+  return buf;
 }
 
 }  // namespace femtocr::util

@@ -12,12 +12,18 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace femtocr::util {
 
 /// Monotonic timestamp in nanoseconds (steady_clock under the hood). The
 /// epoch is unspecified; only differences are meaningful.
 std::int64_t monotonic_now_ns();
+
+/// Current wall-clock time as a UTC ISO-8601 string ("2026-02-14T09:30:01Z",
+/// system_clock under the hood). Provenance metadata for the JSON manifests
+/// only — like every wall-clock reading, it must never reach stdout.
+std::string wall_clock_iso8601();
 
 /// Restartable wall-clock stopwatch over monotonic_now_ns().
 class Stopwatch {

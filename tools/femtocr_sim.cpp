@@ -20,6 +20,7 @@
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -55,6 +56,13 @@ Execution:
                                   histograms, timers) as JSON on exit;
                                   schema in docs/OBSERVABILITY.md. Disable
                                   collection with FEMTOCR_METRICS=0.
+  --trace-out=FILE                dump spans as Chrome trace-event JSON on
+                                  exit (open in Perfetto / chrome://tracing).
+                                  Implies FEMTOCR_TRACE=1 unless the env var
+                                  explicitly disables tracing; schema in
+                                  docs/OBSERVABILITY.md.
+
+Unknown flags are rejected (exit 2) before any simulation work runs.
 )";
 
 core::SchemeKind parse_scheme(const std::string& name) {
@@ -242,6 +250,27 @@ int main(int argc, char** argv) {
     }
 
     const std::string save = args.get("save-config", std::string());
+    const auto runs =
+        static_cast<std::size_t>(args.get("runs", std::int64_t{10}));
+    const std::string metrics_path = args.get("metrics-out", std::string());
+    const std::string trace_path = args.get("trace-out", std::string());
+
+    // Strict unknown-flag rejection, before any simulation work. Every flag
+    // the tool understands has been consumed by now except the mode-dependent
+    // ones (e.g. --scheme is only read by run_single); pre-consume those so
+    // the check rejects exactly the flags nothing could ever read.
+    for (const char* known : {"scheme", "per-user", "sweep", "from", "to",
+                              "step"}) {
+      (void)args.has(known);
+    }
+    const auto unknown = args.unconsumed();
+    if (!unknown.empty()) {
+      std::cerr << "error: unknown flags:";
+      for (const auto& k : unknown) std::cerr << " --" << k;
+      std::cerr << "\nsee --help for the supported list\n";
+      return 2;
+    }
+
     if (!save.empty()) {
       std::ofstream out(save);
       if (!out) {
@@ -256,24 +285,23 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto runs =
-        static_cast<std::size_t>(args.get("runs", std::int64_t{10}));
+    if (!trace_path.empty() && !util::trace_env_disabled()) {
+      util::set_trace_enabled(true);
+    }
+
     const int rc = args.has("sweep") ? run_sweep(scenario, args, runs)
                                      : run_single(scenario, args, runs);
 
-    const std::string metrics_path = args.get("metrics-out", std::string());
-    if (!metrics_path.empty()) {
+    if (!metrics_path.empty() || !trace_path.empty()) {
       auto manifest = util::make_metrics_manifest(argc, argv);
       manifest.seed = scenario.seed;
       manifest.scheme = args.get("scheme", std::string("all"));
-      util::write_metrics_file(metrics_path, manifest);
-    }
-
-    const auto unknown = args.unconsumed();
-    if (!unknown.empty()) {
-      std::cerr << "warning: unused flags:";
-      for (const auto& k : unknown) std::cerr << " --" << k;
-      std::cerr << '\n';
+      if (!metrics_path.empty()) {
+        util::write_metrics_file(metrics_path, manifest);
+      }
+      if (!trace_path.empty()) {
+        util::write_trace_file(trace_path, manifest);
+      }
     }
     return rc;
   } catch (const std::exception& e) {

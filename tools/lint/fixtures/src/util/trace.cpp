@@ -1,0 +1,14 @@
+// Seeded fixture: a raw clock read inside util/trace.cpp — the span layer,
+// sanctioned alongside util/timer.* . The self-test pins
+// no-raw-chrono-clock at ZERO here (exemption path): span timestamps may
+// only be taken inside util/trace.* / util/timer.*, so ad-hoc trace
+// emission anywhere else in the tree still trips the rule.
+#include <chrono>
+
+namespace femtocr::util {
+
+long fixture_span_clock_read() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace femtocr::util

@@ -4,11 +4,17 @@
 The femtocr binaries dump their metrics registry as one JSON document
 (schema: docs/OBSERVABILITY.md):
 
-    {"manifest":   {seed, threads, scheme, build_type, metrics_enabled, cli},
+    {"manifest":   {seed, threads, scheme, build_type, metrics_enabled,
+                    git_sha, hostname, started_at, cli},
      "counters":   {"layer.component.metric": int, ...},
      "histograms": {"name": {count, sum, min, max,
                              buckets: [{lo, hi, count}, ...]}, ...},
-     "timers_ns":  {"name": {count, total_ns, max_ns}, ...}}
+     "timers_ns":  {"name": {count, total_ns, max_ns,
+                             buckets: [{lo, hi, count}, ...]}, ...}}
+
+The provenance fields (git_sha, hostname, started_at) and timer buckets are
+required by --check but optional in every other mode, so older dumps (the
+committed BENCH_baseline.json) keep working unmodified.
 
 Modes:
   metrics_report.py --check FILE
@@ -51,13 +57,19 @@ from pathlib import Path
 
 MANIFEST_KEYS = ("seed", "threads", "scheme", "build_type", "cli")
 
+# Provenance fields stamped by util::make_metrics_manifest. Required by
+# --check (fresh dumps always carry them); optional everywhere else so the
+# tool keeps reading dumps from before the fields existed (notably the
+# committed BENCH_baseline.json).
+PROVENANCE_KEYS = ("git_sha", "hostname", "started_at")
+
 
 def load(path: Path) -> dict:
     with path.open(encoding="utf-8") as f:
         return json.load(f)
 
 
-def check_schema(doc) -> list[str]:
+def check_schema(doc, require_provenance: bool = False) -> list[str]:
     """Returns a list of problems; empty means the document is valid."""
     problems: list[str] = []
 
@@ -87,6 +99,12 @@ def check_schema(doc) -> list[str]:
         if key in manifest:
             expect(isinstance(manifest[key], str),
                    f"manifest.{key} is not a string")
+    for key in PROVENANCE_KEYS:
+        if require_provenance:
+            expect(key in manifest, f"manifest missing provenance key: {key}")
+        if key in manifest:
+            expect(isinstance(manifest[key], str) and manifest[key],
+                   f"manifest.{key} is not a nonempty string")
 
     for name, value in doc["counters"].items():
         expect(isinstance(value, int) and value >= 0,
@@ -125,6 +143,28 @@ def check_schema(doc) -> list[str]:
                                                    "max_ns")):
             expect(t["max_ns"] <= t["total_ns"] or t["count"] <= 1,
                    f"timer {name}: max_ns exceeds total_ns")
+        # Log-spaced duration buckets (optional: dumps from before the field
+        # existed lack it). Same shape and invariants as histogram buckets.
+        if "buckets" in t:
+            if not expect(isinstance(t["buckets"], list),
+                          f"timer {name}: buckets is not an array"):
+                continue
+            bucket_total = 0
+            for i, b in enumerate(t["buckets"]):
+                if not expect(isinstance(b, dict),
+                              f"timer {name}: bucket {i} not an object"):
+                    continue
+                for key in ("lo", "hi", "count"):
+                    expect(key in b, f"timer {name}: bucket {i} missing {key}")
+                if isinstance(b.get("count"), int):
+                    expect(b["count"] > 0,
+                           f"timer {name}: bucket {i} has zero count "
+                           "(only nonzero buckets are exported)")
+                    bucket_total += b["count"]
+            if isinstance(t.get("count"), int):
+                expect(bucket_total == t["count"],
+                       f"timer {name}: bucket counts sum to {bucket_total}, "
+                       f"expected count={t['count']}")
 
     return problems
 
@@ -155,15 +195,42 @@ def fmt_ns(ns: int) -> str:
     return f"{ns} ns"
 
 
+def bucket_percentile(buckets: list[dict], q: float) -> int | None:
+    """Percentile estimate from log-spaced duration buckets.
+
+    Walks the cumulative counts to the bucket holding the q-quantile and
+    returns that bucket's geometric midpoint — the natural representative
+    of a log-spaced bin. Returns None for empty bucket lists.
+    """
+    total = sum(b["count"] for b in buckets)
+    if total == 0:
+        return None
+    target = q * total
+    seen = 0
+    for b in sorted(buckets, key=lambda b: b["lo"]):
+        seen += b["count"]
+        if seen >= target:
+            lo, hi = b["lo"], b["hi"]
+            if lo > 0 and hi > 0:
+                return int((lo * hi) ** 0.5)
+            return int(hi / 2)
+    return int(buckets[-1]["hi"])
+
+
 def top_timers(doc: dict, limit: int) -> str:
     timers = sorted(doc["timers_ns"].items(),
                     key=lambda kv: kv[1]["total_ns"], reverse=True)
     rows = []
     for name, t in timers[:limit]:
         mean = t["total_ns"] / t["count"] if t["count"] else 0
+        pcts = []
+        for q in (0.50, 0.90, 0.99):
+            p = bucket_percentile(t.get("buckets") or [], q)
+            pcts.append("-" if p is None else fmt_ns(p))
         rows.append([name, str(t["count"]), fmt_ns(t["total_ns"]),
-                     fmt_ns(int(mean)), fmt_ns(t["max_ns"])])
-    return render_table(["Timer", "Count", "Total", "Mean", "Max"], rows)
+                     fmt_ns(int(mean))] + pcts + [fmt_ns(t["max_ns"])])
+    return render_table(
+        ["Timer", "Count", "Total", "Mean", "p50", "p90", "p99", "Max"], rows)
 
 
 def fmt_delta(base: int | None, cand: int | None) -> str:
@@ -252,6 +319,9 @@ def merge_min(docs: list[dict]) -> tuple[dict | None, list[str]]:
                 "total_ns": min(d["timers_ns"][name]["total_ns"]
                                 for d in docs),
                 "max_ns": min(d["timers_ns"][name]["max_ns"] for d in docs),
+                # Duration buckets from run 1: counts are pinned equal across
+                # runs, so any run's distribution is representative.
+                **({"buckets": t["buckets"]} if "buckets" in t else {}),
             }
             for name, t in first["timers_ns"].items()
         },
@@ -367,7 +437,7 @@ def main(argv: list[str]) -> int:
     if args.check:
         if len(docs) != 1:
             parser.error("--check takes exactly one file")
-        problems = check_schema(docs[0])
+        problems = check_schema(docs[0], require_provenance=True)
         for p in problems:
             print(f"{args.files[0]}: {p}")
         if problems:
