@@ -17,6 +17,13 @@
 //
 //   --grid=smoke   CI-sized subset (default)
 //   --grid=full    the whole sweep, 500-user / 50-FBS cells included
+//   --grid=city    Matérn-clustered city topologies (hundreds to thousands
+//                  of FBSs) solved through the component shard engine
+//                  (core/shard.h); gated against BENCH_baseline_city.json.
+//                  The point of this tier: slot-solve wall clock scales
+//                  with the number (and size) of interference-graph
+//                  components, not with the raw network size.
+#include <cmath>
 #include <iomanip>
 #include <iostream>
 #include <memory>
@@ -27,9 +34,11 @@
 #include "common.h"
 #include "core/dual_solver.h"
 #include "core/greedy.h"
+#include "core/shard.h"
 #include "core/slot_cache.h"
 #include "core/types.h"
 #include "net/interference_graph.h"
+#include "sim/scenario.h"
 #include "util/check.h"
 #include "util/mathx.h"
 #include "util/metrics.h"
@@ -100,6 +109,55 @@ void drift_fixture(Fixture& f, util::Rng& rng) {
   }
 }
 
+/// One city cell: a scaled Matérn deployment (sim::city_scenario) whose
+/// interference graph splits into many cluster-sized components. The
+/// parent-disk radius shrinks with sqrt(clusters) so cluster density — and
+/// therefore component size — stays constant across cells; only the
+/// component COUNT grows. That is the scaling claim the gate pins.
+struct CityFixture {
+  std::unique_ptr<net::InterferenceGraph> graph;
+  core::SlotContext ctx;
+  std::size_t num_fbs = 0;
+  std::size_t num_users = 0;
+};
+
+CityFixture make_city_fixture(std::size_t clusters, std::uint64_t rep) {
+  sim::CityConfig cfg;
+  cfg.clusters = clusters;
+  // 1.4x the generator's default parent spacing: cluster merges (which
+  // serialize — a component solves on one worker) stay small and rare, so
+  // the critical path is a single cluster, not a merged blob.
+  cfg.city_radius = 4200.0 * std::sqrt(static_cast<double>(clusters) / 250.0);
+  cfg.fbs_per_cluster = 5.0;
+  cfg.max_users_per_fbs = 4;
+  cfg.num_licensed = 8;
+  const sim::Scenario s = sim::city_scenario(cfg, /*seed=*/11 + rep);
+
+  CityFixture f;
+  f.num_fbs = s.fbss.size();
+  f.num_users = s.users.size();
+  f.graph = std::make_unique<net::InterferenceGraph>(
+      net::InterferenceGraph::from_coverage(s.fbss));
+  f.ctx.num_fbs = s.fbss.size();
+  f.ctx.graph = f.graph.get();
+  util::Rng rng(0xC17u + 1000003u * rep + 31u * clusters);
+  for (std::size_t m = 0; m < cfg.num_licensed; ++m) {
+    f.ctx.available.push_back(m);
+    f.ctx.posterior.push_back(rng.uniform(0.4, 1.0));
+  }
+  for (const net::CrUser& su : s.users) {
+    core::UserState u;
+    u.psnr = rng.uniform(28.0, 42.0);
+    u.success_mbs = rng.uniform(0.55, 0.98);
+    u.success_fbs = rng.uniform(0.55, 0.98);
+    u.rate_mbs = rng.uniform(0.45, 0.7);
+    u.rate_fbs = rng.uniform(0.45, 0.7);
+    u.fbs = su.fbs;
+    f.ctx.users.push_back(u);
+  }
+  return f;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,9 +167,9 @@ int main(int argc, char** argv) {
       [&grid](const util::Args& args) {
         grid = args.get("grid", std::string("smoke"));
       },
-      " --grid=smoke|full");
-  if (grid != "smoke" && grid != "full") {
-    std::cerr << "stress_scale: --grid must be smoke or full\n";
+      " --grid=smoke|full|city");
+  if (grid != "smoke" && grid != "full" && grid != "city") {
+    std::cerr << "stress_scale: --grid must be smoke, full or city\n";
     return 2;
   }
 
@@ -140,6 +198,48 @@ int main(int argc, char** argv) {
   std::cout << "kind    users  fbs  chan  sum_objective        work\n";
 
   std::size_t replications = 0;
+
+  if (grid == "city") {
+    // City tier: the whole per-slot solve goes through sharded_allocate;
+    // `work` counts interference-graph components, the quantity the wall
+    // clock is expected to track. Table columns print the rep-0 deployment
+    // (seed-derived, so byte-identical for any --threads).
+    for (const std::size_t clusters : {std::size_t{48}, std::size_t{96},
+                                       std::size_t{192}}) {
+      c_cells.add();
+      double sum_objective = 0.0;
+      std::size_t work = 0;
+      std::size_t shown_users = 0;
+      std::size_t shown_fbs = 0;
+      for (std::size_t rep = 0; rep < harness.runs(); ++rep) {
+        ++replications;
+        const CityFixture f = make_city_fixture(clusters, rep);
+        if (rep == 0) {
+          shown_users = f.num_users;
+          shown_fbs = f.num_fbs;
+        }
+        util::ScopedSpan slot_span("sim.slot");
+        slot_span.arg("run", static_cast<double>(rep));
+        c_solves.add();
+        const util::ScopedSpan alloc_span("sim.slot.allocate");
+        const core::ShardPlan plan = core::ShardPlan::build(*f.ctx.graph);
+        FEMTOCR_CHECK(plan.num_components() > 1,
+                      "city deployments must decompose into components");
+        const util::ScopedTimer timer(t_solve);
+        const core::ShardResult res = core::sharded_allocate(f.ctx, plan);
+        sum_objective += res.allocation.objective;
+        work += res.num_components;
+      }
+      std::cout << std::left << std::setw(8) << "city" << std::right
+                << std::setw(5) << shown_users << std::setw(5) << shown_fbs
+                << std::setw(6) << 8 << "  " << std::setw(18)
+                << std::setprecision(12) << sum_objective << "  "
+                << std::setw(6) << work << "\n";
+    }
+    harness.report(replications);
+    return 0;
+  }
+
   for (const Cell& cell : cells) {
     c_cells.add();
     double sum_objective = 0.0;

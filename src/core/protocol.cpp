@@ -6,6 +6,7 @@
 #include "core/subproblem.h"
 #include "util/check.h"
 #include "util/mathx.h"
+#include "util/parallel.h"
 #include "util/trace.h"
 
 namespace femtocr::core::protocol {
@@ -127,6 +128,57 @@ ProtocolResult run_protocol(const SlotContext& ctx,
   span.arg("rounds", static_cast<double>(result.rounds));
   span.arg("converged", result.converged ? 1.0 : 0.0);
   span.arg("uplink_messages", static_cast<double>(result.uplink_messages));
+  return result;
+}
+
+ShardedProtocolResult run_protocol_sharded(const SlotContext& ctx,
+                                           const ShardPlan& plan,
+                                           const std::vector<double>& gt_per_fbs,
+                                           const DualOptions& options) {
+  util::ScopedSpan span("core.protocol.run_sharded");
+  ctx.validate();
+  FEMTOCR_CHECK(gt_per_fbs.size() == ctx.num_fbs,
+                "need one expected channel count per FBS");
+
+  const std::vector<ComponentProblem> problems =
+      make_component_problems(ctx, plan);
+  ShardedProtocolResult result;
+  result.per_component.resize(problems.size());
+
+  // One exchange per component, concurrently: worker c writes only its own
+  // result slot, folds stay serial in component order below.
+  util::parallel_for(problems.size(), [&](std::size_t c) {
+    const ComponentProblem& p = problems[c];
+    if (p.ctx.users.empty()) {
+      // No users, no exchange: the component contributes a zero allocation
+      // and no signaling.
+      ProtocolResult empty;
+      empty.allocation = SlotAllocation::zeros(p.ctx);
+      empty.converged = true;
+      result.per_component[c] = std::move(empty);
+      return;
+    }
+    std::vector<double> gt_local(p.ctx.num_fbs, 0.0);
+    for (std::size_t i = 0; i < p.global_fbs.size(); ++i) {
+      gt_local[i] = gt_per_fbs[p.global_fbs[i]];
+    }
+    result.per_component[c] = run_protocol(p.ctx, gt_local, options);
+  });
+
+  result.converged = true;
+  std::vector<SlotAllocation> subs;
+  subs.reserve(problems.size());
+  for (const ProtocolResult& r : result.per_component) {
+    result.converged = result.converged && r.converged;
+    result.rounds = std::max(result.rounds, r.rounds);
+    result.uplink_messages += r.uplink_messages;
+    result.downlink_broadcasts += r.downlink_broadcasts;
+    subs.push_back(r.allocation);
+  }
+  result.allocation = fold_component_allocations(ctx, problems, subs);
+  span.arg("components", static_cast<double>(problems.size()));
+  span.arg("rounds", static_cast<double>(result.rounds));
+  span.arg("converged", result.converged ? 1.0 : 0.0);
   return result;
 }
 

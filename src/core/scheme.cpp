@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/greedy.h"
+#include "core/shard.h"
 #include "core/waterfill.h"
 #include "core/heuristics.h"
 #include "util/check.h"
@@ -80,10 +81,36 @@ SlotAllocation ProposedScheme::allocate(const SlotContext& ctx) {
     alloc.objective_empty = alloc.objective;
     return alloc;
   }
-  // Interfering: Table III greedy channel allocation; prices are not
-  // carried over (the inner solver is the exact water-filling).
-  GreedyResult res = greedy_allocate(ctx, cache_);
-  return res.allocation;
+  // Interfering: Table III greedy channel allocation. With a connected
+  // graph the slot stays one monolithic greedy (prices are not carried —
+  // the inner solver is the exact water-filling); when the graph splits
+  // into several components the slot decomposes and the shard engine
+  // solves the components concurrently (core/shard.h), carrying one price
+  // vector per component id on the distributed path.
+  ++shard_warm_age_;
+  const ShardPlan plan = ShardPlan::build(*ctx.graph);
+  if (plan.num_components() <= 1) {
+    GreedyResult res = greedy_allocate(ctx, cache_);
+    return res.allocation;
+  }
+  ShardOptions shard_options;
+  shard_options.use_distributed_solver = use_distributed_solver_;
+  shard_options.dual = options_;
+  if (shard_warm_.size() != plan.num_components() ||
+      shard_warm_age_ > kMaxWarmAgeSlots) {
+    // Shape change or staleness: every component starts cold this slot.
+    shard_warm_.assign(plan.num_components(), {});
+  }
+  ShardResult res = sharded_allocate(ctx, plan, shard_options, &shard_warm_);
+  for (std::size_t c = 0; c < res.outcomes.size(); ++c) {
+    if (res.outcomes[c].dual_path && res.outcomes[c].converged) {
+      shard_warm_[c] = std::move(res.outcomes[c].lambda);
+    } else {
+      shard_warm_[c].clear();  // never carry a degraded price vector
+    }
+  }
+  if (use_distributed_solver_) shard_warm_age_ = 0;
+  return std::move(res.allocation);
 }
 
 SlotAllocation EqualAllocationScheme::allocate(const SlotContext& ctx) {

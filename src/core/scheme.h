@@ -67,6 +67,13 @@ class ProposedScheme final : public Scheme {
   bool use_distributed_solver_;
   std::vector<double> warm_lambda_;  ///< prices carried across slots
   std::size_t warm_age_ = 0;  ///< allocate() calls since the carry was fresh
+  /// Sharded-slot warm prices, keyed by component id (core/shard.h): entry
+  /// c seeds component c's subgradient on the next multi-component slot.
+  /// Dropped whenever the decomposition changes shape (mobility can merge
+  /// or split components) and under the same kMaxWarmAgeSlots staleness
+  /// bound as the global carry.
+  std::vector<std::vector<double>> shard_warm_;
+  std::size_t shard_warm_age_ = 0;
   SlotCache cache_;  ///< rebuilt each slot; buffers persist across slots
 };
 

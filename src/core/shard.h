@@ -1,0 +1,116 @@
+// Component-sharded per-slot allocation.
+//
+// Theorem 1 / Lemma 4 make non-adjacent FBS groups independent: of problem
+// (21)'s constraints, only the shared MBS slot budget (sum_j rho_{0,j} <= 1)
+// couples users across connected components of the interference graph. The
+// shard engine exploits that structure: the slot splits into one
+// subproblem per component (each with its full licensed channel set —
+// spatial reuse across components is free), the subproblems are solved
+// concurrently over util::parallel_for, and the sub-allocations are folded
+// back in fixed component order. The fold then projects the MBS shares onto
+// the global budget exactly the way run_protocol's primal recovery does
+// (scale by 1/sum when oversubscribed) and re-evaluates the objective, so
+// the result is always feasible. The folded upper bound is the sum of the
+// per-component bounds, which is a genuine Eq.-(23)-style bound: giving
+// every component its own unit MBS budget is a relaxation of the coupled
+// problem, so the sum of relaxed optima dominates the true optimum.
+//
+// Determinism contract (pinned by the shard-equivalence tier of
+// tests/test_determinism.cpp): workers write only their component's slots
+// of pre-sized buffers; every fold walks components in index order; each
+// component has its own SlotCache and — on the distributed path — its own
+// warm-start price vector, and the per-thread scratch arenas of
+// core/scratch.h keep concurrent component solves from aliasing. Results
+// are bitwise identical for any --threads value and with FEMTOCR_METRICS=0.
+//
+// Observability: core.shard.* counters/timer, rows in docs/OBSERVABILITY.md.
+// Registered lazily on the first sharded solve so runs that never shard
+// keep byte-identical metrics dumps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dual_solver.h"
+#include "core/types.h"
+#include "net/interference_graph.h"
+
+namespace femtocr::core {
+
+struct SlotCache;
+
+/// The slot's decomposition: connected components of the interference
+/// graph in the deterministic order net::InterferenceGraph::components()
+/// defines (ascending by smallest vertex, members ascending).
+struct ShardPlan {
+  std::vector<std::vector<std::size_t>> components;
+  std::vector<std::size_t> component_of;  ///< per global FBS index
+
+  static ShardPlan build(const net::InterferenceGraph& graph);
+
+  std::size_t num_components() const { return components.size(); }
+  std::size_t max_component_size() const;
+};
+
+/// One component's extracted subproblem. Local indices are remapped stably:
+/// local FBS i is global_fbs[i] (ascending), local user k is
+/// global_users[k] (ascending), and ctx.graph points at the owned induced
+/// subgraph under the same FBS remapping.
+struct ComponentProblem {
+  SlotContext ctx;
+  net::InterferenceGraph graph{0};        ///< owned; ctx.graph targets this
+  std::vector<std::size_t> global_fbs;    ///< == plan.components[c]
+  std::vector<std::size_t> global_users;  ///< local user k -> global index
+};
+
+/// Extracts every component's subproblem from `ctx`. Each sub-context
+/// carries the full available/posterior sets (channels are reusable across
+/// components), the component's users in ascending global order, and the
+/// slot's solver_iteration_cap (the "land inside the slot" budget applies
+/// to each concurrent sub-solve). Graph pointers are fixed up after the
+/// container is final, so the returned vector may be moved but individual
+/// elements must not be.
+std::vector<ComponentProblem> make_component_problems(const SlotContext& ctx,
+                                                      const ShardPlan& plan);
+
+struct ShardOptions {
+  /// Solve edgeless components with the Table I/II subgradient (per-
+  /// component prices, warm-startable) instead of the exact water-filling.
+  bool use_distributed_solver = false;
+  DualOptions dual;  ///< options for the distributed path
+};
+
+/// Per-component solver outcome beyond the allocation itself.
+struct ComponentOutcome {
+  bool dual_path = false;      ///< solved by solve_dual (edgeless + dual)
+  bool converged = false;      ///< dual path only
+  std::vector<double> lambda;  ///< converged local prices; empty otherwise
+};
+
+struct ShardResult {
+  SlotAllocation allocation;  ///< folded, MBS-projected, objective re-evaluated
+  std::size_t num_components = 0;
+  std::size_t max_component_size = 0;
+  std::vector<ComponentOutcome> outcomes;  ///< fixed component order
+};
+
+/// Folds per-component sub-allocations (aligned with `problems`) into one
+/// global allocation: shares/channels scatter through the stable remaps,
+/// bounds and dual iterations sum in component order, the MBS shares are
+/// projected onto the shared slot budget, and the objective is re-evaluated
+/// with slot_objective on the folded point.
+SlotAllocation fold_component_allocations(
+    const SlotContext& ctx, const std::vector<ComponentProblem>& problems,
+    const std::vector<SlotAllocation>& subs);
+
+/// Solves the slot by components, concurrently. `warm_prices`, when given,
+/// seeds the distributed path per component id (entry c is used iff its
+/// size matches component c's price-vector shape); converged prices come
+/// back in ShardResult::outcomes for the caller to carry. Deterministic for
+/// any thread count.
+ShardResult sharded_allocate(
+    const SlotContext& ctx, const ShardPlan& plan,
+    const ShardOptions& options = {},
+    const std::vector<std::vector<double>>* warm_prices = nullptr);
+
+}  // namespace femtocr::core

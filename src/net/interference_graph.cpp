@@ -90,4 +90,59 @@ std::vector<std::vector<std::size_t>> InterferenceGraph::independent_sets()
   return result;
 }
 
+std::vector<std::size_t> InterferenceGraph::component_of() const {
+  // Iterative BFS seeded from the smallest unvisited vertex: component ids
+  // ascend with their smallest member, matching components()' order.
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> comp(size(), kUnvisited);
+  std::vector<std::size_t> frontier;
+  std::size_t next_id = 0;
+  for (std::size_t root = 0; root < size(); ++root) {
+    if (comp[root] != kUnvisited) continue;
+    comp[root] = next_id;
+    frontier.assign(1, root);
+    while (!frontier.empty()) {
+      const std::size_t v = frontier.back();
+      frontier.pop_back();
+      for (const std::size_t w : adjacency_[v]) {
+        if (comp[w] == kUnvisited) {
+          comp[w] = next_id;
+          frontier.push_back(w);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return comp;
+}
+
+std::vector<std::vector<std::size_t>> InterferenceGraph::components() const {
+  const std::vector<std::size_t> comp = component_of();
+  std::size_t count = 0;
+  for (const std::size_t c : comp) count = std::max(count, c + 1);
+  std::vector<std::vector<std::size_t>> result(count);
+  // One ascending vertex sweep fills every component in sorted order.
+  for (std::size_t v = 0; v < comp.size(); ++v) result[comp[v]].push_back(v);
+  return result;
+}
+
+InterferenceGraph InterferenceGraph::induced_subgraph(
+    const std::vector<std::size_t>& vertices) const {
+  constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> local(size(), kAbsent);
+  for (std::size_t k = 0; k < vertices.size(); ++k) {
+    FEMTOCR_CHECK(vertices[k] < size(), "vertex index out of range");
+    FEMTOCR_CHECK(k == 0 || vertices[k - 1] < vertices[k],
+                  "induced_subgraph needs strictly ascending vertices");
+    local[vertices[k]] = k;
+  }
+  InterferenceGraph g(vertices.size());
+  for (std::size_t k = 0; k < vertices.size(); ++k) {
+    for (const std::size_t w : adjacency_[vertices[k]]) {
+      if (local[w] != kAbsent && local[w] > k) g.add_edge(k, local[w]);
+    }
+  }
+  return g;
+}
+
 }  // namespace femtocr::net

@@ -48,8 +48,29 @@ class InterferenceGraph {
 
   /// All independent sets of vertices (including the empty set), used by
   /// the exact allocator on small instances. Exponential — guarded to
-  /// graphs of at most 20 vertices.
+  /// graphs of at most 20 vertices (FEMTOCR_CHECK, regression-tested).
   std::vector<std::vector<std::size_t>> independent_sets() const;
+
+  /// Connected components as sorted vertex lists. Deterministic order: each
+  /// component's vertices ascend, and components are ordered by their
+  /// smallest vertex — so the decomposition is a stable function of the
+  /// graph alone, never of traversal scheduling. No constraint of problem
+  /// (21) couples FBSs across components except the shared MBS budget,
+  /// which is why the per-slot solve shards along this partition
+  /// (core/shard.h).
+  std::vector<std::vector<std::size_t>> components() const;
+
+  /// Component index per vertex, consistent with components(): vertex v
+  /// lies in components()[component_of()[v]].
+  std::vector<std::size_t> component_of() const;
+
+  /// Induced subgraph on `vertices` (strictly ascending global indices —
+  /// checked). The remapping is stable: local vertex k is vertices[k], so
+  /// a caller can translate solver output back with a plain lookup. An
+  /// edge exists locally iff both endpoints are in `vertices` and the edge
+  /// exists here.
+  InterferenceGraph induced_subgraph(
+      const std::vector<std::size_t>& vertices) const;
 
  private:
   std::vector<std::vector<std::size_t>> adjacency_;

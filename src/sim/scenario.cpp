@@ -1,5 +1,9 @@
 #include "sim/scenario.h"
 
+#include <cmath>
+#include <string>
+
+#include "phy/geometry.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "video/mgs_model.h"
@@ -144,6 +148,98 @@ Scenario fig1_scenario(std::uint64_t seed) {
                                            "Crew", "Football", "City",
                                            "Ice",  "Soccer"};
   s.users = net::Topology::scatter_users(s.fbss, 2, videos, rng);
+
+  s.finalize();
+  return s;
+}
+
+namespace {
+
+/// Knuth's product-of-uniforms Poisson sampler: deterministic from `rng`'s
+/// stream, exact for the small means a cluster uses.
+std::size_t sample_poisson(double mean, util::Rng& rng) {
+  const double limit = std::exp(-mean);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+/// Truncated-Pareto users-per-cell draw: floor((1-u)^(-1/alpha)) is >= 1
+/// and heavy-tailed; the truncation keeps a single hot cell from dwarfing
+/// the slot problem.
+std::size_t sample_user_count(double alpha, std::size_t max_users,
+                              util::Rng& rng) {
+  const double u = rng.uniform();
+  const double x = std::pow(1.0 - u, -1.0 / alpha);
+  const auto n = static_cast<std::size_t>(x);
+  return std::min(std::max<std::size_t>(n, 1), max_users);
+}
+
+}  // namespace
+
+Scenario city_scenario(const CityConfig& cfg, std::uint64_t seed) {
+  FEMTOCR_CHECK(cfg.clusters > 0, "city scenario needs at least one cluster");
+  FEMTOCR_CHECK(cfg.fbs_per_cluster > 0.0 && cfg.coverage_radius > 0.0,
+                "city cluster parameters must be positive");
+  FEMTOCR_CHECK(cfg.user_tail_alpha > 0.0 && cfg.max_users_per_fbs > 0,
+                "city user-tail parameters must be positive");
+
+  Scenario s;
+  s.name = "city";
+  s.seed = seed;
+
+  s.spectrum.num_licensed = cfg.num_licensed;
+  s.spectrum.occupancy = {0.4, 0.3};
+  s.spectrum.gamma = 0.2;
+  s.spectrum.user_sensor = {0.3, 0.3};
+  s.spectrum.fbs_sensor = {0.3, 0.3};
+
+  s.common_bandwidth = 0.3;
+  s.licensed_bandwidth = 0.3;
+  s.gop_deadline = 10;
+  s.num_gops = cfg.num_gops;
+
+  s.mbs.position = {0.0, 0.0};
+
+  util::Rng rng(seed ^ 0xC17C17C1);
+  const phy::Disk city{{0.0, 0.0}, cfg.city_radius};
+  for (std::size_t c = 0; c < cfg.clusters; ++c) {
+    const phy::Point parent = phy::random_in_disk(city, rng);
+    // The first cluster always deploys at least one cell, so degenerate
+    // configs still produce a valid scenario.
+    std::size_t daughters = sample_poisson(cfg.fbs_per_cluster, rng);
+    if (c == 0 && daughters == 0) daughters = 1;
+    const phy::Disk neighbourhood{parent, cfg.cluster_radius};
+    for (std::size_t d = 0; d < daughters; ++d) {
+      s.fbss.push_back({s.fbss.size(), phy::random_in_disk(neighbourhood, rng),
+                        cfg.coverage_radius});
+    }
+  }
+
+  // Heavy-tailed per-cell user load: placement stays inside the spawning
+  // cell's coverage (the Topology re-associates by nearest FBS, which can
+  // only hand a user to another cell of the same cluster).
+  const std::vector<std::string> videos = {"Bus",     "Mobile", "Harbor",
+                                           "Foreman", "Crew",   "City",
+                                           "Soccer",  "Football", "Ice"};
+  std::size_t v = 0;
+  for (const net::FemtoBaseStation& f : s.fbss) {
+    const std::size_t count =
+        sample_user_count(cfg.user_tail_alpha, cfg.max_users_per_fbs, rng);
+    for (std::size_t k = 0; k < count; ++k) {
+      net::CrUser u;
+      u.id = s.users.size();
+      u.position = phy::random_in_disk(f.coverage(), rng);
+      u.video_name = videos[v % videos.size()];
+      u.fbs = f.id;
+      ++v;
+      s.users.push_back(std::move(u));
+    }
+  }
 
   s.finalize();
   return s;

@@ -121,4 +121,32 @@ Scenario interfering_scenario(std::uint64_t seed = 1);
 /// channel gain). Two users per femtocell.
 Scenario fig1_scenario(std::uint64_t seed = 1);
 
+/// City-scale deployment knobs (EXPERIMENTS.md, "City scenario"). The
+/// deployment is a Matérn cluster process: `clusters` parent points fall
+/// uniformly in a disk of radius `city_radius`; each parent spawns a
+/// Poisson(`fbs_per_cluster`) number of femtocells uniformly within
+/// `cluster_radius` of it. Dense clusters overlap internally (interference
+/// edges), distant clusters do not — so the interference graph splits into
+/// roughly one component per cluster, the structure the shard engine
+/// (core/shard.h) exploits. Users per cell follow a truncated-Pareto heavy
+/// tail: most cells serve a couple of streams, a few serve many.
+struct CityConfig {
+  std::size_t clusters = 250;          ///< Matérn parent count
+  double city_radius = 3000.0;         ///< parent disk radius (m)
+  double cluster_radius = 45.0;        ///< daughter scatter radius (m)
+  double fbs_per_cluster = 8.0;        ///< Poisson mean daughters per parent
+  double coverage_radius = 14.0;       ///< per-FBS coverage disk (m)
+  double user_tail_alpha = 1.4;        ///< Pareto tail index, users per cell
+  std::size_t max_users_per_fbs = 12;  ///< heavy-tail truncation
+  std::size_t num_licensed = 16;       ///< licensed channels M
+  std::size_t num_gops = 5;            ///< city runs are per-slot studies
+};
+
+/// Generates a city-scale scenario from `cfg` (defaults: ~2000 FBSs,
+/// several thousand users). The interference graph is left to be derived
+/// from coverage overlaps; users carry their spawning cell in `fbs` (the
+/// Topology re-associates by geometry when simulated). Deterministic in
+/// (cfg, seed).
+Scenario city_scenario(const CityConfig& cfg = {}, std::uint64_t seed = 1);
+
 }  // namespace femtocr::sim

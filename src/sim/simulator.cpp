@@ -258,6 +258,10 @@ RunResult Simulator::run() {
 
   util::Rng mobility_rng = rng_.split(0xC3);
 
+  // Shard count of the slot solves (core/shard.h): a pure function of the
+  // interference graph, recomputed only when mobility rebuilds it.
+  std::size_t graph_components = topology_.graph().components().size();
+
   // Decision-latency series for the per-run SLO fold. Wall-clock data:
   // collected only when metrics or tracing are on, never printed to stdout.
   std::vector<std::int64_t> latencies;
@@ -278,6 +282,8 @@ RunResult Simulator::run() {
     if (scenario_.mobility.step_stddev > 0.0 && t > 0 &&
         t % scenario_.gop_deadline == 0) {
       move_users(mobility_rng);
+      // Handoffs can rewire coverage overlaps: refresh the shard count.
+      graph_components = topology_.graph().components().size();
     }
     for (std::size_t j = 0; j < sessions_.size(); ++j) {
       sessions_[j].begin_slot(t);
@@ -338,8 +344,10 @@ RunResult Simulator::run() {
       trace_entry.collisions = obs.collisions();
       trace_entry.objective = alloc.objective;
       trace_entry.upper_bound = alloc.upper_bound;
+      trace_entry.components = graph_components;
       trace_entry.users.resize(sessions_.size());
     }
+    result.max_components = std::max(result.max_components, graph_components);
 
     // Amplification ratio for the Eq.-(23) bound trajectory: the optimum's
     // per-slot objective gain over the channel-free baseline is at most

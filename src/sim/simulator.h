@@ -45,6 +45,12 @@ struct RunResult {
   double avg_expected_channels = 0.0;  ///< average G_t
   std::size_t total_dual_iterations = 0;
   std::size_t slots = 0;
+  /// Largest per-slot interference-graph component count seen over the run
+  /// (> 1 means the Proposed scheme's interfering slots decomposed and ran
+  /// through the shard engine, core/shard.h). Graph-derived and
+  /// deterministic; only mobility can move it mid-run. Never printed to
+  /// stdout.
+  std::size_t max_components = 0;
   /// Per-run decision-latency SLO fold (nearest-rank percentiles over the
   /// slot allocate latencies). Wall-clock values: populated only when
   /// metrics or tracing are enabled, exported to JSON/stderr only, and

@@ -28,6 +28,11 @@ struct SlotTraceEntry {
   std::size_t collisions = 0;      ///< accessed channels that were busy
   double objective = 0.0;          ///< allocator's Q for the slot
   double upper_bound = 0.0;        ///< Eq. 23 bound (== Q when exact)
+  /// Connected components of the slot's interference graph — the shard
+  /// count of the per-component solve (core/shard.h). Derived from the
+  /// topology, so it only moves when mobility rewires coverage. Not part
+  /// of the CSV schema (write_csv is unchanged).
+  std::size_t components = 0;
   std::vector<UserSlotTrace> users;
 };
 

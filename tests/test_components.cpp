@@ -1,0 +1,162 @@
+// Property tier for the connected-component decomposition behind the shard
+// engine (net::InterferenceGraph::components / component_of /
+// induced_subgraph, consumed by core/shard.h). Fifty seeds of random
+// graphs pin the partition laws the per-component solve relies on:
+// components partition the vertex set, no edge crosses components, the
+// induced subgraphs carry exactly the original edges under the positional
+// remap, and per-component independent-set enumeration agrees with a
+// test-side brute force (and multiplies out to the whole graph's count).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/interference_graph.h"
+#include "util/rng.h"
+
+namespace femtocr::net {
+namespace {
+
+class ComponentProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComponentProperty,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+/// Random graph on 1..max_vertices vertices; sparse enough (p around
+/// 1.5/n) that multi-component outcomes dominate the sweep.
+InterferenceGraph random_graph(util::Rng& rng, std::size_t max_vertices) {
+  const std::size_t n = 1 + rng.index(max_vertices);
+  InterferenceGraph g(n);
+  const double p = rng.uniform(0.0, 3.0) / static_cast<double>(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t w = v + 1; w < n; ++w) {
+      if (rng.uniform() < p) g.add_edge(v, w);
+    }
+  }
+  return g;
+}
+
+/// Brute-force enumeration in the same ascending-bitmask order as
+/// InterferenceGraph::independent_sets, so result vectors compare equal.
+std::vector<std::vector<std::size_t>> brute_force_independent_sets(
+    const InterferenceGraph& g) {
+  std::vector<std::vector<std::size_t>> result;
+  const std::size_t n = g.size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<std::size_t> set;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mask & (std::size_t{1} << v)) set.push_back(v);
+    }
+    bool independent = true;
+    for (std::size_t a = 0; a < set.size() && independent; ++a) {
+      for (std::size_t b = a + 1; b < set.size() && independent; ++b) {
+        if (g.has_edge(set[a], set[b])) independent = false;
+      }
+    }
+    if (independent) result.push_back(std::move(set));
+  }
+  return result;
+}
+
+TEST_P(ComponentProperty, ComponentsPartitionTheVertexSet) {
+  util::Rng rng(GetParam() * 512927377);
+  const InterferenceGraph g = random_graph(rng, 60);
+  const auto comps = g.components();
+
+  // Every component is non-empty, strictly ascending, and ordered by its
+  // smallest member; the union of all members, sorted, must be exactly
+  // {0, 1, ..., n-1} — each vertex in precisely one component.
+  std::vector<std::size_t> seen;
+  std::size_t last_root = 0;
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    ASSERT_FALSE(comps[c].empty());
+    EXPECT_TRUE(std::is_sorted(comps[c].begin(), comps[c].end()));
+    EXPECT_EQ(std::adjacent_find(comps[c].begin(), comps[c].end()),
+              comps[c].end());
+    if (c > 0) {
+      EXPECT_GT(comps[c].front(), last_root);
+    }
+    last_root = comps[c].front();
+    seen.insert(seen.end(), comps[c].begin(), comps[c].end());
+  }
+  ASSERT_EQ(seen.size(), g.size());
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t v = 0; v < g.size(); ++v) EXPECT_EQ(seen[v], v);
+}
+
+TEST_P(ComponentProperty, NoEdgeCrossesComponentsAndEachIsConnected) {
+  util::Rng rng(GetParam() * 533000401);
+  const InterferenceGraph g = random_graph(rng, 60);
+  const auto of = g.component_of();
+  ASSERT_EQ(of.size(), g.size());
+
+  // No cross-component edge.
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    for (const std::size_t w : g.neighbors(v)) EXPECT_EQ(of[v], of[w]);
+  }
+
+  // Each component is internally connected: a test-side BFS from its
+  // smallest member must reach every member.
+  for (const auto& comp : g.components()) {
+    std::vector<char> reached(g.size(), 0);
+    std::vector<std::size_t> frontier = {comp.front()};
+    reached[comp.front()] = 1;
+    while (!frontier.empty()) {
+      const std::size_t v = frontier.back();
+      frontier.pop_back();
+      for (const std::size_t w : g.neighbors(v)) {
+        if (!reached[w]) {
+          reached[w] = 1;
+          frontier.push_back(w);
+        }
+      }
+    }
+    for (const std::size_t v : comp) EXPECT_TRUE(reached[v]);
+  }
+}
+
+TEST_P(ComponentProperty, ComponentOfAgreesWithComponents) {
+  util::Rng rng(GetParam() * 553105243);
+  const InterferenceGraph g = random_graph(rng, 60);
+  const auto comps = g.components();
+  const auto of = g.component_of();
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    for (const std::size_t v : comps[c]) EXPECT_EQ(of[v], c);
+  }
+}
+
+TEST_P(ComponentProperty, InducedSubgraphCarriesExactlyTheOriginalEdges) {
+  util::Rng rng(GetParam() * 573259391);
+  const InterferenceGraph g = random_graph(rng, 40);
+  for (const auto& comp : g.components()) {
+    const InterferenceGraph sub = g.induced_subgraph(comp);
+    ASSERT_EQ(sub.size(), comp.size());
+    for (std::size_t a = 0; a < comp.size(); ++a) {
+      for (std::size_t b = a + 1; b < comp.size(); ++b) {
+        EXPECT_EQ(sub.has_edge(a, b), g.has_edge(comp[a], comp[b]));
+      }
+    }
+  }
+}
+
+TEST_P(ComponentProperty, PerComponentEnumerationMatchesBruteForce) {
+  util::Rng rng(GetParam() * 593441861);
+  // Small graphs: the whole graph stays brute-forceable, so both the
+  // per-component sets AND the product law are checked exactly.
+  const InterferenceGraph g = random_graph(rng, 12);
+  std::size_t product = 1;
+  for (const auto& comp : g.components()) {
+    const InterferenceGraph sub = g.induced_subgraph(comp);
+    const auto enumerated = sub.independent_sets();
+    EXPECT_EQ(enumerated, brute_force_independent_sets(sub));
+    product *= enumerated.size();
+  }
+  // Independent sets factor across components: any union of per-component
+  // independent sets is independent (no cross edges) and vice versa.
+  EXPECT_EQ(product, g.independent_sets().size());
+}
+
+}  // namespace
+}  // namespace femtocr::net

@@ -5,16 +5,27 @@
 // performance knob — if any of these EXPECT_EQs on doubles ever needs a
 // tolerance, the engine has started changing WHAT is computed, not WHEN.
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "core/scheme.h"
+#include "core/shard.h"
+#include "core/slot_cache.h"
+#include "core/types.h"
+#include "core/waterfill.h"
+#include "net/interference_graph.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "sim/simulator.h"
 #include "sim/sweeps.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -236,6 +247,235 @@ TEST(Determinism, MetricCountersInvariantAcrossThreadCounts) {
   EXPECT_GT(totals[0].second, 0u);
   for (std::size_t r = 1; r < totals.size(); ++r) {
     EXPECT_EQ(totals[r], totals[0]) << "thread run " << r;
+  }
+}
+
+// ----------------------------------------------- shard equivalence tier ----
+//
+// The component-sharded slot solve (core/shard.h) must be bitwise
+// deterministic for any thread count, invariant under the metrics kill
+// switch, and identical to a hand-composed per-component solve written
+// independently of the library's fold — on topologies mixing interfering
+// components (greedy path) with edgeless ones (waterfill/dual path).
+
+struct ShardFixture {
+  std::unique_ptr<net::InterferenceGraph> graph;
+  core::SlotContext ctx;
+
+  /// Nine FBSs, components {0,1,2}, {3}, {4,5}, {6}, {7,8}: two greedy
+  /// components, three edgeless ones. Users interleave across cells in
+  /// ascending global order; everything else is seed-derived.
+  static ShardFixture make(std::uint64_t seed, std::size_t users_per_fbs = 2,
+                           std::size_t channels = 4) {
+    constexpr std::size_t kFbs = 9;
+    ShardFixture f;
+    f.graph =
+        std::make_unique<net::InterferenceGraph>(net::InterferenceGraph::from_edges(
+            kFbs, {{0, 1}, {1, 2}, {4, 5}, {7, 8}}));
+    f.ctx.num_fbs = kFbs;
+    f.ctx.graph = f.graph.get();
+    util::Rng rng(seed);
+    for (std::size_t m = 0; m < channels; ++m) {
+      f.ctx.available.push_back(m);
+      f.ctx.posterior.push_back(rng.uniform(0.4, 1.0));
+    }
+    for (std::size_t j = 0; j < users_per_fbs * kFbs; ++j) {
+      core::UserState u;
+      u.psnr = rng.uniform(28.0, 42.0);
+      u.success_mbs = rng.uniform(0.55, 0.98);
+      u.success_fbs = rng.uniform(0.55, 0.98);
+      u.rate_mbs = rng.uniform(0.45, 0.7);
+      u.rate_fbs = rng.uniform(0.45, 0.7);
+      u.fbs = j % kFbs;
+      f.ctx.users.push_back(u);
+    }
+    return f;
+  }
+};
+
+void expect_allocation_identical(const core::SlotAllocation& a,
+                                 const core::SlotAllocation& b) {
+  EXPECT_EQ(a.use_mbs, b.use_mbs);
+  EXPECT_EQ(a.rho_mbs, b.rho_mbs);  // exact doubles: same bits or bust
+  EXPECT_EQ(a.rho_fbs, b.rho_fbs);
+  EXPECT_EQ(a.channels, b.channels);
+  EXPECT_EQ(a.expected_channels, b.expected_channels);
+  EXPECT_EQ(a.user_expected_channels, b.user_expected_channels);
+  EXPECT_EQ(a.user_channel, b.user_channel);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.upper_bound, b.upper_bound);
+  EXPECT_EQ(a.objective_empty, b.objective_empty);
+  EXPECT_EQ(a.dual_iterations, b.dual_iterations);
+}
+
+TEST(ShardEquivalence, BitwiseIdenticalAcrossThreadCounts) {
+  ThreadDefaultGuard guard;
+  for (const bool distributed : {false, true}) {
+    const ShardFixture f = ShardFixture::make(41);
+    const core::ShardPlan plan = core::ShardPlan::build(*f.ctx.graph);
+    ASSERT_GT(plan.num_components(), 1u);
+    core::ShardOptions options;
+    options.use_distributed_solver = distributed;
+
+    util::set_default_threads(1);
+    const core::ShardResult reference =
+        core::sharded_allocate(f.ctx, plan, options);
+    EXPECT_TRUE(reference.allocation.feasible(f.ctx));
+
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      util::set_default_threads(threads);
+      const core::ShardResult res =
+          core::sharded_allocate(f.ctx, plan, options);
+      EXPECT_EQ(res.num_components, reference.num_components);
+      EXPECT_EQ(res.max_component_size, reference.max_component_size);
+      expect_allocation_identical(res.allocation, reference.allocation);
+      ASSERT_EQ(res.outcomes.size(), reference.outcomes.size());
+      for (std::size_t c = 0; c < res.outcomes.size(); ++c) {
+        EXPECT_EQ(res.outcomes[c].dual_path, reference.outcomes[c].dual_path);
+        EXPECT_EQ(res.outcomes[c].converged, reference.outcomes[c].converged);
+        EXPECT_EQ(res.outcomes[c].lambda, reference.outcomes[c].lambda);
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalence, MatchesHandComposedPerComponentSolve) {
+  // Independent recomposition: extract each component BY HAND (own remap
+  // code, not make_component_problems), solve it with the same library
+  // solvers the shard engine dispatches to, scatter and project by hand,
+  // and demand bit equality with sharded_allocate.
+  ThreadDefaultGuard guard;
+  util::set_default_threads(1);
+  for (const std::uint64_t seed : {std::uint64_t{3}, std::uint64_t{17},
+                                   std::uint64_t{29}}) {
+    const ShardFixture f = ShardFixture::make(seed);
+    const core::SlotContext& ctx = f.ctx;
+
+    core::SlotAllocation expected = core::SlotAllocation::zeros(ctx);
+    double sum_mbs = 0.0;
+    for (const auto& comp : ctx.graph->components()) {
+      // Local subproblem: FBS k of the sub-context is comp[k]; its users
+      // are ctx's users of those cells in ascending global order.
+      core::SlotContext sub;
+      sub.num_fbs = comp.size();
+      sub.available = ctx.available;
+      sub.posterior = ctx.posterior;
+      const net::InterferenceGraph sub_graph = ctx.graph->induced_subgraph(comp);
+      sub.graph = &sub_graph;
+      std::vector<std::size_t> users;  // global index of local user k
+      for (std::size_t j = 0; j < ctx.users.size(); ++j) {
+        for (std::size_t k = 0; k < comp.size(); ++k) {
+          if (ctx.users[j].fbs == comp[k]) {
+            core::UserState u = ctx.users[j];
+            u.fbs = k;
+            sub.users.push_back(u);
+            users.push_back(j);
+          }
+        }
+      }
+      ASSERT_FALSE(sub.users.empty());  // fixture covers every cell
+
+      core::SlotCache cache;
+      cache.build(sub);
+      core::SlotAllocation alloc;
+      if (sub.graph->num_edges() == 0) {
+        const std::vector<double> gt(sub.num_fbs,
+                                     sub.total_expected_channels());
+        alloc = core::waterfill_solve(sub, cache, gt);
+        alloc.channels.assign(sub.num_fbs, sub.available);
+        alloc.objective_empty = alloc.objective;
+      } else {
+        alloc = core::greedy_allocate(sub, cache).allocation;
+      }
+
+      for (std::size_t k = 0; k < comp.size(); ++k) {
+        expected.channels[comp[k]] = alloc.channels[k];
+        expected.expected_channels[comp[k]] = alloc.expected_channels[k];
+      }
+      for (std::size_t k = 0; k < users.size(); ++k) {
+        expected.use_mbs[users[k]] = alloc.use_mbs[k];
+        expected.rho_mbs[users[k]] = alloc.rho_mbs[k];
+        expected.rho_fbs[users[k]] = alloc.rho_fbs[k];
+        sum_mbs += alloc.rho_mbs[k];
+      }
+      expected.upper_bound += alloc.upper_bound;
+      expected.objective_empty += alloc.objective_empty;
+      expected.dual_iterations += alloc.dual_iterations;
+    }
+    if (sum_mbs > 1.0) {
+      // Multiply by the reciprocal, exactly as the library's fold does —
+      // x / s and x * (1 / s) can differ in the last ULP.
+      const double scale_mbs = 1.0 / sum_mbs;
+      for (double& rho : expected.rho_mbs) rho *= scale_mbs;
+    }
+    expected.objective = core::slot_objective(ctx, expected);
+
+    const core::ShardPlan plan = core::ShardPlan::build(*ctx.graph);
+    const core::ShardResult res = core::sharded_allocate(ctx, plan);
+    expect_allocation_identical(res.allocation, expected);
+    EXPECT_TRUE(res.allocation.feasible(ctx));
+  }
+}
+
+TEST(ShardEquivalence, MetricsKillSwitchDoesNotPerturbShardedSolve) {
+  ThreadDefaultGuard guard;
+  util::set_default_threads(2);
+  const bool prev_enabled = util::metrics_enabled();
+  const ShardFixture f = ShardFixture::make(59);
+  const core::ShardPlan plan = core::ShardPlan::build(*f.ctx.graph);
+
+  util::set_metrics_enabled(true);
+  const core::ShardResult with_metrics = core::sharded_allocate(f.ctx, plan);
+  util::set_metrics_enabled(false);
+  const core::ShardResult without_metrics =
+      core::sharded_allocate(f.ctx, plan);
+  util::set_metrics_enabled(prev_enabled);
+
+  expect_allocation_identical(with_metrics.allocation,
+                              without_metrics.allocation);
+}
+
+TEST(ShardEquivalence, ShardCountersInvariantAcrossThreadCounts) {
+  ThreadDefaultGuard guard;
+  const bool prev_enabled = util::metrics_enabled();
+  util::set_metrics_enabled(true);
+  util::Counter& solves = util::metrics().counter("core.shard.solves");
+  util::Counter& components = util::metrics().counter("core.shard.components");
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> totals;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    util::set_default_threads(threads);
+    util::metrics().reset();
+    const ShardFixture f = ShardFixture::make(71);
+    const core::ShardPlan plan = core::ShardPlan::build(*f.ctx.graph);
+    (void)core::sharded_allocate(f.ctx, plan);
+    totals.emplace_back(solves.total(), components.total());
+  }
+  util::set_metrics_enabled(prev_enabled);
+  EXPECT_EQ(totals[0].first, 1u);
+  EXPECT_EQ(totals[0].second, 5u);  // the fixture's component count
+  for (std::size_t r = 1; r < totals.size(); ++r) {
+    EXPECT_EQ(totals[r], totals[0]) << "thread run " << r;
+  }
+}
+
+TEST(ShardEquivalence, ProposedSchemeRoutesThroughTheShardEngine) {
+  // On a multi-component interfering slot the scheme's allocate() must be
+  // exactly the shard engine's answer — both solver modes, fresh state.
+  ThreadDefaultGuard guard;
+  util::set_default_threads(2);
+  for (const bool distributed : {false, true}) {
+    const ShardFixture f = ShardFixture::make(97);
+    const core::ShardPlan plan = core::ShardPlan::build(*f.ctx.graph);
+    core::ShardOptions options;
+    options.use_distributed_solver = distributed;
+    const core::ShardResult direct =
+        core::sharded_allocate(f.ctx, plan, options);
+
+    core::ProposedScheme scheme({}, distributed);
+    const core::SlotAllocation via_scheme = scheme.allocate(f.ctx);
+    expect_allocation_identical(via_scheme, direct.allocation);
   }
 }
 

@@ -90,6 +90,76 @@ TEST(InterferenceGraph, EnumerationGuard) {
   EXPECT_THROW(g.independent_sets(), std::logic_error);
 }
 
+TEST(InterferenceGraph, EnumerationGuardBoundary) {
+  // The FEMTOCR_CHECK guard is exclusive at 21 and inclusive at 20: the
+  // complete graph K20 must still enumerate (empty set + 20 singletons).
+  InterferenceGraph k20(20);
+  for (std::size_t v = 0; v < 20; ++v) {
+    for (std::size_t w = v + 1; w < 20; ++w) k20.add_edge(v, w);
+  }
+  EXPECT_EQ(k20.independent_sets().size(), 21u);
+  InterferenceGraph k21(21);
+  for (std::size_t v = 0; v < 21; ++v) {
+    for (std::size_t w = v + 1; w < 21; ++w) k21.add_edge(v, w);
+  }
+  EXPECT_THROW(k21.independent_sets(), std::logic_error);
+}
+
+TEST(InterferenceGraph, FromCoverageCoincidentStations) {
+  // Degenerate deployments must not trip the constructor: coincident FBSs
+  // overlap (distance 0), and Disk::overlaps counts touching disks, so two
+  // zero-radius cells at the same point still interfere.
+  std::vector<FemtoBaseStation> coincident = {{0, {10, 10}, 5.0},
+                                              {1, {10, 10}, 5.0}};
+  const auto g = InterferenceGraph::from_coverage(coincident);
+  EXPECT_TRUE(g.has_edge(0, 1));
+
+  std::vector<FemtoBaseStation> zero_same = {{0, {3, -4}, 0.0},
+                                             {1, {3, -4}, 0.0}};
+  EXPECT_TRUE(InterferenceGraph::from_coverage(zero_same).has_edge(0, 1));
+
+  std::vector<FemtoBaseStation> zero_apart = {{0, {0, 0}, 0.0},
+                                              {1, {1e-6, 0}, 0.0}};
+  EXPECT_FALSE(InterferenceGraph::from_coverage(zero_apart).has_edge(0, 1));
+}
+
+// ----------------------------------------------- connected components ----
+
+TEST(InterferenceGraph, ComponentsFig2) {
+  // Fig. 2's graph splits {0}, {1}, {2,3}: components are ordered by their
+  // smallest vertex and each lists its members ascending.
+  const auto g = InterferenceGraph::from_edges(4, {{2, 3}});
+  const auto comps = g.components();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(comps[1], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(comps[2], (std::vector<std::size_t>{2, 3}));
+  const auto of = g.component_of();
+  EXPECT_EQ(of, (std::vector<std::size_t>{0, 1, 2, 2}));
+}
+
+TEST(InterferenceGraph, ComponentsEmptyAndConnected) {
+  EXPECT_TRUE(InterferenceGraph(0).components().empty());
+  const auto path = InterferenceGraph::from_edges(3, {{0, 1}, {1, 2}});
+  ASSERT_EQ(path.components().size(), 1u);
+  EXPECT_EQ(path.components()[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(InterferenceGraph, InducedSubgraphRemapsEdges) {
+  // Path 0-1-2 plus isolated 3: the subgraph on {1, 2, 3} keeps only the
+  // 1-2 edge, remapped to local vertices 0-1.
+  const auto g = InterferenceGraph::from_edges(4, {{0, 1}, {1, 2}});
+  const auto sub = g.induced_subgraph({1, 2, 3});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.num_edges(), 1u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_FALSE(sub.has_edge(1, 2));
+  // Vertex lists must be strictly ascending — the remap is positional.
+  EXPECT_THROW(g.induced_subgraph({2, 1}), std::logic_error);
+  EXPECT_THROW(g.induced_subgraph({1, 1}), std::logic_error);
+  EXPECT_THROW(g.induced_subgraph({4}), std::logic_error);
+}
+
 // ----------------------------------------------------------- Topology ----
 
 Topology make_two_cell_topology() {

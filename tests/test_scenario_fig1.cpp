@@ -34,6 +34,15 @@ TEST(Fig1Scenario, RunsUnderAllSchemes) {
   }
 }
 
+TEST(Fig1Scenario, SlotsDecomposeIntoThreeComponents) {
+  // {0}, {1}, {2,3}: the run's interfering slots go through the shard
+  // engine, and the simulator surfaces the decomposition on RunResult.
+  Scenario s = fig1_scenario(3);
+  s.num_gops = 2;
+  const RunResult r = Simulator(s, core::SchemeKind::kProposed, 0).run();
+  EXPECT_EQ(r.max_components, 3u);
+}
+
 TEST(Fig1Scenario, GreedyWithinHalfOfOptimumAsThePaperStates) {
   // Build slot contexts from the Fig. 1 deployment and check Theorem 2's
   // concrete claim for this network: greedy gain >= optimal gain / 2.
@@ -64,6 +73,42 @@ TEST(Fig1Scenario, GreedyWithinHalfOfOptimumAsThePaperStates) {
     const double optimal_gain = e.allocation.objective - g.q_empty;
     EXPECT_GE(greedy_gain + 1e-6, optimal_gain / 2.0) << "trial " << trial;
   }
+}
+
+TEST(CityScenario, DeterministicClusteredAndMultiComponent) {
+  CityConfig cfg;
+  cfg.clusters = 20;
+  cfg.city_radius = 1000.0;
+  const Scenario a = city_scenario(cfg, 5);
+  const Scenario b = city_scenario(cfg, 5);
+
+  // Deterministic in (cfg, seed): identical deployments bit for bit.
+  ASSERT_EQ(a.fbss.size(), b.fbss.size());
+  ASSERT_EQ(a.users.size(), b.users.size());
+  for (std::size_t i = 0; i < a.fbss.size(); ++i) {
+    EXPECT_EQ(a.fbss[i].position.x, b.fbss[i].position.x);
+    EXPECT_EQ(a.fbss[i].position.y, b.fbss[i].position.y);
+  }
+
+  // Valid scenario shape: normalized ids, users spawned inside their
+  // cell's coverage, per-cell load within the truncated-Pareto bounds.
+  std::vector<std::size_t> per_cell(a.fbss.size(), 0);
+  for (std::size_t j = 0; j < a.users.size(); ++j) {
+    EXPECT_EQ(a.users[j].id, j);
+    ASSERT_LT(a.users[j].fbs, a.fbss.size());
+    EXPECT_TRUE(a.fbss[a.users[j].fbs].coverage().contains(a.users[j].position));
+    ++per_cell[a.users[j].fbs];
+  }
+  for (const std::size_t n : per_cell) {
+    EXPECT_GE(n, 1u);  // the heavy tail draws at least one stream per cell
+    EXPECT_LE(n, cfg.max_users_per_fbs);
+  }
+
+  // Matérn clustering: dense within clusters, sparse between — the
+  // interference graph must decompose (the structure the shard engine and
+  // the city bench tier rely on).
+  const auto g = net::InterferenceGraph::from_coverage(a.fbss);
+  EXPECT_GT(g.components().size(), 1u);
 }
 
 TEST(Metrics, JainIndex) {
