@@ -33,15 +33,29 @@ const std::vector<double>* ProposedScheme::carried_prices() const {
   return warm_lambda_.empty() ? nullptr : &warm_lambda_;
 }
 
+const ShardPlan& ProposedScheme::shard_plan(
+    const net::InterferenceGraph& graph) {
+  if (plan_graph_ != &graph || plan_version_ != graph.version()) {
+    plan_ = ShardPlan::build(graph);
+    plan_graph_ = &graph;
+    plan_version_ = graph.version();
+  }
+  return plan_;
+}
+
 SlotAllocation ProposedScheme::allocate(const SlotContext& ctx) {
   // One cache build covers every solve this slot makes — including all of
   // the greedy's candidate evaluations — and validates the context once.
   cache_.build(ctx);
-  // Every slot ages the carried prices, including slots that never reach
-  // the dual solve (interfering slots, fault bypasses in the simulator are
-  // invisible here but show up as non-refreshing slots too): the staleness
-  // bound is on wall-clock slots, not on solver calls.
+  // Every slot ages BOTH price carries, including slots that never reach
+  // the path that would consume them (interfering slots for the global
+  // carry, edgeless slots for the shard carry, fault bypasses in the
+  // simulator are invisible here but show up as non-refreshing slots too):
+  // the staleness bound is on wall-clock slots, not on solver calls.
   ++warm_age_;
+  ++shard_warm_age_;
+  if (warm_age_ > kMaxWarmAgeSlots) warm_lambda_.clear();
+  if (shard_warm_age_ > kMaxWarmAgeSlots) shard_warm_.clear();
   if (ctx.graph->num_edges() == 0) {
     // Non-interfering: every FBS reuses all available channels (spatial
     // reuse); Tables I/II apply and achieve the optimum.
@@ -49,11 +63,12 @@ SlotAllocation ProposedScheme::allocate(const SlotContext& ctx) {
     if (use_distributed_solver_) {
       DualOptions opts = options_;
       opts.warm_start_enabled = true;
-      if (warm_lambda_.size() == ctx.num_fbs + 1 &&
-          warm_age_ <= kMaxWarmAgeSlots) {
+      if (warm_lambda_.size() == ctx.num_fbs + 1) {
+        // The staleness sweep above already dropped an over-age carry, so
+        // a surviving shape-matched seed is fresh enough to use.
         opts.warm_start = warm_lambda_;
       } else {
-        warm_lambda_.clear();  // stale or shape-mismatched seed
+        warm_lambda_.clear();  // shape-mismatched seed
       }
       // Fault-injection budget squeeze (sim/faults.h): the solve must land
       // inside the slot, so an injected cap bounds the subgradient budget
@@ -86,9 +101,8 @@ SlotAllocation ProposedScheme::allocate(const SlotContext& ctx) {
   // the inner solver is the exact water-filling); when the graph splits
   // into several components the slot decomposes and the shard engine
   // solves the components concurrently (core/shard.h), carrying one price
-  // vector per component id on the distributed path.
-  ++shard_warm_age_;
-  const ShardPlan plan = ShardPlan::build(*ctx.graph);
+  // vector per component fingerprint on the distributed path.
+  const ShardPlan& plan = shard_plan(*ctx.graph);
   if (plan.num_components() <= 1) {
     GreedyResult res = greedy_allocate(ctx, cache_);
     return res.allocation;
@@ -96,17 +110,29 @@ SlotAllocation ProposedScheme::allocate(const SlotContext& ctx) {
   ShardOptions shard_options;
   shard_options.use_distributed_solver = use_distributed_solver_;
   shard_options.dual = options_;
-  if (shard_warm_.size() != plan.num_components() ||
-      shard_warm_age_ > kMaxWarmAgeSlots) {
-    // Shape change or staleness: every component starts cold this slot.
-    shard_warm_.assign(plan.num_components(), {});
+  // Route each carried price vector to the component that owns its
+  // fingerprint. Components whose fingerprint has no carry (membership
+  // changed, component is new, last solve did not converge) start cold —
+  // never seeded from a same-position or same-count stranger.
+  shard_seed_.resize(plan.num_components());
+  for (std::size_t c = 0; c < plan.num_components(); ++c) {
+    shard_seed_[c].clear();
+    const ShardPlan::ComponentKey key = plan.key(c);
+    for (const ShardCarry& carry : shard_warm_) {
+      if (carry.key == key) {
+        shard_seed_[c] = carry.lambda;
+        break;
+      }
+    }
   }
-  ShardResult res = sharded_allocate(ctx, plan, shard_options, &shard_warm_);
+  ShardResult res = sharded_allocate(ctx, plan, shard_options, &shard_seed_);
+  shard_warm_.resize(plan.num_components());
   for (std::size_t c = 0; c < res.outcomes.size(); ++c) {
+    shard_warm_[c].key = plan.key(c);
     if (res.outcomes[c].dual_path && res.outcomes[c].converged) {
-      shard_warm_[c] = std::move(res.outcomes[c].lambda);
+      shard_warm_[c].lambda = std::move(res.outcomes[c].lambda);
     } else {
-      shard_warm_[c].clear();  // never carry a degraded price vector
+      shard_warm_[c].lambda.clear();  // never carry a degraded price vector
     }
   }
   if (use_distributed_solver_) shard_warm_age_ = 0;

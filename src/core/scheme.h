@@ -9,10 +9,13 @@
 // starts its dual prices from the previous slot).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/dual_solver.h"
+#include "core/shard.h"
 #include "core/slot_cache.h"
 #include "core/types.h"
 
@@ -63,17 +66,35 @@ class ProposedScheme final : public Scheme {
   const std::vector<double>* carried_prices() const override;
 
  private:
+  /// One component's carried prices plus the fingerprint they belong to.
+  /// A seed is consumed only by a component with the *same* fingerprint
+  /// (smallest global FBS + size) — matching on component count alone let
+  /// mobility/churn feed prices for one set of femtocells into another.
+  struct ShardCarry {
+    ShardPlan::ComponentKey key;
+    std::vector<double> lambda;  ///< empty = nothing carried for this key
+  };
+
+  /// Decomposition of `graph`, cached across slots keyed on the graph's
+  /// (pointer, version) pair. The version stamp is process-unique per
+  /// structural mutation (net/interference_graph.h), so a hit guarantees
+  /// the pointee is the graph the plan was built from — incremental edge
+  /// flips by the engine invalidate the cache automatically.
+  const ShardPlan& shard_plan(const net::InterferenceGraph& graph);
+
   DualOptions options_;
   bool use_distributed_solver_;
   std::vector<double> warm_lambda_;  ///< prices carried across slots
   std::size_t warm_age_ = 0;  ///< allocate() calls since the carry was fresh
-  /// Sharded-slot warm prices, keyed by component id (core/shard.h): entry
-  /// c seeds component c's subgradient on the next multi-component slot.
-  /// Dropped whenever the decomposition changes shape (mobility can merge
-  /// or split components) and under the same kMaxWarmAgeSlots staleness
-  /// bound as the global carry.
-  std::vector<std::vector<double>> shard_warm_;
+  /// Sharded-slot warm prices, fingerprint-keyed (see ShardCarry). Aged
+  /// every allocate() call — the kMaxWarmAgeSlots bound is wall-clock
+  /// slots, symmetric with warm_lambda_'s.
+  std::vector<ShardCarry> shard_warm_;
   std::size_t shard_warm_age_ = 0;
+  std::vector<std::vector<double>> shard_seed_;  ///< per-slot scratch, reused
+  const net::InterferenceGraph* plan_graph_ = nullptr;
+  std::uint64_t plan_version_ = 0;
+  ShardPlan plan_;
   SlotCache cache_;  ///< rebuilt each slot; buffers persist across slots
 };
 

@@ -43,6 +43,23 @@ struct SlotCache;
 /// graph in the deterministic order net::InterferenceGraph::components()
 /// defines (ascending by smallest vertex, members ascending).
 struct ShardPlan {
+  /// Identity of one component across slots: its smallest global FBS index
+  /// plus its size. Warm-start carries key their cached prices by this, so
+  /// a graph that keeps its component *count* but shuffles membership
+  /// (mobility, churn) reads as a different decomposition and goes cold
+  /// instead of seeding stale prices into the wrong component.
+  struct ComponentKey {
+    std::size_t min_vertex = 0;
+    std::size_t size = 0;
+
+    friend bool operator==(const ComponentKey& a, const ComponentKey& b) {
+      return a.min_vertex == b.min_vertex && a.size == b.size;
+    }
+    friend bool operator!=(const ComponentKey& a, const ComponentKey& b) {
+      return !(a == b);
+    }
+  };
+
   std::vector<std::vector<std::size_t>> components;
   std::vector<std::size_t> component_of;  ///< per global FBS index
 
@@ -50,6 +67,12 @@ struct ShardPlan {
 
   std::size_t num_components() const { return components.size(); }
   std::size_t max_component_size() const;
+
+  /// Fingerprint of component c (members are ascending, so front() is the
+  /// smallest vertex).
+  ComponentKey key(std::size_t c) const {
+    return ComponentKey{components[c].front(), components[c].size()};
+  }
 };
 
 /// One component's extracted subproblem. Local indices are remapped stably:

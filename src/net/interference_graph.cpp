@@ -1,13 +1,27 @@
 #include "net/interference_graph.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.h"
 
 namespace femtocr::net {
 
+namespace {
+
+/// Process-unique structural stamps. Monotonic and never reused, so a
+/// cache keyed on (graph pointer, version) can only hit when the pointee
+/// is bitwise the graph the cache was built from (copies inherit the
+/// stamp, but copies are structurally identical by construction).
+std::uint64_t next_version() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 InterferenceGraph::InterferenceGraph(std::size_t num_fbs)
-    : adjacency_(num_fbs) {}
+    : adjacency_(num_fbs), version_(next_version()) {}
 
 InterferenceGraph InterferenceGraph::from_coverage(
     const std::vector<FemtoBaseStation>& fbss) {
@@ -40,6 +54,38 @@ void InterferenceGraph::add_edge(std::size_t a, std::size_t b) {
   if (has_edge(a, b)) return;
   adjacency_[a].push_back(b);
   adjacency_[b].push_back(a);
+  version_ = next_version();
+}
+
+bool InterferenceGraph::remove_edge(std::size_t a, std::size_t b) {
+  FEMTOCR_CHECK(a < size() && b < size(), "vertex index out of range");
+  const auto erase_from = [](std::vector<std::size_t>& nbrs, std::size_t v) {
+    const auto it = std::find(nbrs.begin(), nbrs.end(), v);
+    if (it == nbrs.end()) return false;
+    nbrs.erase(it);
+    return true;
+  };
+  if (!erase_from(adjacency_[a], b)) return false;
+  erase_from(adjacency_[b], a);
+  version_ = next_version();
+  return true;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> InterferenceGraph::edge_set()
+    const {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  edges.reserve(num_edges());
+  for (std::size_t a = 0; a < adjacency_.size(); ++a) {
+    for (const std::size_t b : adjacency_[a]) {
+      if (a < b) edges.emplace_back(a, b);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+bool InterferenceGraph::same_structure(const InterferenceGraph& other) const {
+  return size() == other.size() && edge_set() == other.edge_set();
 }
 
 bool InterferenceGraph::has_edge(std::size_t a, std::size_t b) const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -33,7 +34,30 @@ class InterferenceGraph {
   std::size_t num_edges() const;
 
   void add_edge(std::size_t a, std::size_t b);
+  /// Removes an edge if present; returns whether the graph changed. With
+  /// add_edge this makes the graph incrementally maintainable — the engine's
+  /// activity-filtered graph (net/topology.h) flips edges as femtocells
+  /// empty and refill instead of rebuilding from coverage.
+  bool remove_edge(std::size_t a, std::size_t b);
   bool has_edge(std::size_t a, std::size_t b) const;
+
+  /// Structural stamp: every mutation (add_edge/remove_edge that changed
+  /// the edge set) assigns a fresh process-unique value. Two graphs with
+  /// the same version are structurally identical (copies of one lineage);
+  /// independently built graphs never share a version even when equal.
+  /// Consumers key caches on (graph pointer, version) — core/scheme.cpp's
+  /// cached ShardPlan invalidates on exactly this pair.
+  std::uint64_t version() const { return version_; }
+
+  /// Canonical edge list (a < b, lexicographic). The comparison form the
+  /// incremental-vs-rebuild cross-checks diff: adjacency lists may be
+  /// ordered differently after incremental maintenance, the edge set may
+  /// not.
+  std::vector<std::pair<std::size_t, std::size_t>> edge_set() const;
+
+  /// True when `other` has the same vertex count and edge set (adjacency
+  /// ordering is ignored — it is a construction artifact, not structure).
+  bool same_structure(const InterferenceGraph& other) const;
 
   /// Neighborhood R(i): FBSs that conflict with i.
   const std::vector<std::size_t>& neighbors(std::size_t i) const;
@@ -74,6 +98,7 @@ class InterferenceGraph {
 
  private:
   std::vector<std::vector<std::size_t>> adjacency_;
+  std::uint64_t version_ = 0;  ///< stamped at construction and per mutation
 };
 
 }  // namespace femtocr::net

@@ -1,10 +1,42 @@
 #include "net/topology.h"
 
+#include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace femtocr::net {
+
+namespace {
+
+/// Counters for the incremental-maintenance path. Registered lazily on
+/// first churn/mobility op so batch binaries that never touch the engine
+/// keep their exact counter set (the baseline gate diffs the union).
+struct IncrementalMetrics {
+  util::Counter& user_adds;
+  util::Counter& user_removes;
+  util::Counter& user_moves;
+  util::Counter& handoffs;
+  util::Counter& edges_added;
+  util::Counter& edges_removed;
+  util::Counter& cross_checks;
+};
+
+IncrementalMetrics& incremental_metrics() {
+  static IncrementalMetrics m{
+      util::metrics().counter("net.graph.incremental.user_adds"),
+      util::metrics().counter("net.graph.incremental.user_removes"),
+      util::metrics().counter("net.graph.incremental.user_moves"),
+      util::metrics().counter("net.graph.incremental.handoffs"),
+      util::metrics().counter("net.graph.incremental.edges_added"),
+      util::metrics().counter("net.graph.incremental.edges_removed"),
+      util::metrics().counter("net.graph.incremental.cross_checks")};
+  return m;
+}
+
+}  // namespace
 
 void RadioConfig::validate() const {
   mbs_pathloss.validate();
@@ -22,7 +54,8 @@ Topology::Topology(MacroBaseStation mbs, std::vector<FemtoBaseStation> fbss,
       users_(std::move(users)),
       radio_(radio),
       graph_(graph ? std::move(*graph)
-                   : InterferenceGraph::from_coverage(fbss_)) {
+                   : InterferenceGraph::from_coverage(fbss_)),
+      active_graph_(0) {
   FEMTOCR_CHECK(!fbss_.empty(), "deployment needs at least one FBS");
   FEMTOCR_CHECK(!users_.empty(), "deployment needs at least one CR user");
   FEMTOCR_CHECK(graph_.size() == fbss_.size(),
@@ -58,6 +91,8 @@ Topology::Topology(MacroBaseStation mbs, std::vector<FemtoBaseStation> fbss,
     fbs_links_.emplace_back(fbss_[u.fbs].position, u.position,
                             radio_.fbs_pathloss, radio_.sinr_threshold);
   }
+
+  active_graph_ = build_active_graph_reference();
 }
 
 const FemtoBaseStation& Topology::fbs(std::size_t i) const {
@@ -83,6 +118,142 @@ const phy::Link& Topology::mbs_link(std::size_t j) const {
 const phy::Link& Topology::fbs_link(std::size_t j) const {
   FEMTOCR_CHECK(j < fbs_links_.size(), "user index out of range");
   return fbs_links_[j];
+}
+
+std::size_t Topology::nearest_fbs(phy::Point p) const {
+  // Strict < keeps the tie-break at the smallest index, exactly as the
+  // constructor's association sweep resolves it.
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_fbs = 0;
+  for (std::size_t i = 0; i < fbss_.size(); ++i) {
+    const double d = phy::distance(p, fbss_[i].position);
+    if (d < best) {
+      best = d;
+      best_fbs = i;
+    }
+  }
+  return best_fbs;
+}
+
+void Topology::activate_fbs(std::size_t i) {
+  IncrementalMetrics& m = incremental_metrics();
+  for (const std::size_t n : graph_.neighbors(i)) {
+    if (users_by_fbs_[n].empty()) continue;
+    active_graph_.add_edge(i, n);
+    m.edges_added.add(1);
+  }
+}
+
+void Topology::deactivate_fbs(std::size_t i) {
+  IncrementalMetrics& m = incremental_metrics();
+  // Copy: remove_edge mutates the adjacency list being walked otherwise.
+  const std::vector<std::size_t> nbrs = active_graph_.neighbors(i);
+  for (const std::size_t n : nbrs) {
+    active_graph_.remove_edge(i, n);
+    m.edges_removed.add(1);
+  }
+}
+
+std::size_t Topology::add_user(CrUser user) {
+  const std::size_t j = users_.size();
+  user.id = j;
+  user.fbs = nearest_fbs(user.position);
+  mbs_links_.emplace_back(mbs_.position, user.position, radio_.mbs_pathloss,
+                          radio_.sinr_threshold);
+  fbs_links_.emplace_back(fbss_[user.fbs].position, user.position,
+                          radio_.fbs_pathloss, radio_.sinr_threshold);
+  // j exceeds every existing index, so push_back keeps the list ascending.
+  users_by_fbs_[user.fbs].push_back(j);
+  if (users_by_fbs_[user.fbs].size() == 1) activate_fbs(user.fbs);
+  users_.push_back(std::move(user));
+  incremental_metrics().user_adds.add(1);
+  return j;
+}
+
+CrUser Topology::remove_user(std::size_t j) {
+  FEMTOCR_CHECK(j < users_.size(), "user index out of range");
+  CrUser removed = std::move(users_[j]);
+  users_.erase(users_.begin() + static_cast<std::ptrdiff_t>(j));
+  mbs_links_.erase(mbs_links_.begin() + static_cast<std::ptrdiff_t>(j));
+  fbs_links_.erase(fbs_links_.begin() + static_cast<std::ptrdiff_t>(j));
+  for (std::size_t k = j; k < users_.size(); ++k) users_[k].id = k;
+  // Drop j from every per-FBS list and shift the indices above it; the
+  // compaction preserves each list's ascending order.
+  for (auto& list : users_by_fbs_) {
+    std::size_t w = 0;
+    for (const std::size_t idx : list) {
+      if (idx == j) continue;
+      list[w++] = idx > j ? idx - 1 : idx;
+    }
+    list.resize(w);
+  }
+  if (users_by_fbs_[removed.fbs].empty()) deactivate_fbs(removed.fbs);
+  incremental_metrics().user_removes.add(1);
+  return removed;
+}
+
+bool Topology::move_user(std::size_t j, phy::Point position) {
+  FEMTOCR_CHECK(j < users_.size(), "user index out of range");
+  CrUser& u = users_[j];
+  const std::size_t old_fbs = u.fbs;
+  const std::size_t new_fbs = nearest_fbs(position);
+  u.position = position;
+  mbs_links_[j] = phy::Link(mbs_.position, position, radio_.mbs_pathloss,
+                            radio_.sinr_threshold);
+  fbs_links_[j] = phy::Link(fbss_[new_fbs].position, position,
+                            radio_.fbs_pathloss, radio_.sinr_threshold);
+  incremental_metrics().user_moves.add(1);
+  if (new_fbs == old_fbs) return false;
+
+  u.fbs = new_fbs;
+  auto& old_list = users_by_fbs_[old_fbs];
+  old_list.erase(std::find(old_list.begin(), old_list.end(), j));
+  auto& new_list = users_by_fbs_[new_fbs];
+  new_list.insert(std::lower_bound(new_list.begin(), new_list.end(), j), j);
+  // Activate before deactivate: the old cell is already empty here, so the
+  // new cell never gains an edge to it either way — order is cosmetic.
+  if (new_list.size() == 1) activate_fbs(new_fbs);
+  if (old_list.empty()) deactivate_fbs(old_fbs);
+  incremental_metrics().handoffs.add(1);
+  return true;
+}
+
+InterferenceGraph Topology::build_active_graph_reference() const {
+  InterferenceGraph g(fbss_.size());
+  for (const auto& [a, b] : graph_.edge_set()) {
+    if (!users_by_fbs_[a].empty() && !users_by_fbs_[b].empty()) {
+      g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+void Topology::check_active_graph_consistency() const {
+  incremental_metrics().cross_checks.add(1);
+  const InterferenceGraph reference = build_active_graph_reference();
+  FEMTOCR_CHECK(active_graph_.same_structure(reference),
+                "incremental active graph diverged from from-scratch rebuild");
+  FEMTOCR_CHECK(active_graph_.component_of() == reference.component_of(),
+                "incremental active graph component partition diverged");
+
+  std::vector<std::size_t> seen(users_.size(), 0);
+  for (std::size_t i = 0; i < users_by_fbs_.size(); ++i) {
+    const auto& list = users_by_fbs_[i];
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      FEMTOCR_CHECK(list[k] < users_.size(), "stale user index in FBS list");
+      FEMTOCR_CHECK(users_[list[k]].fbs == i,
+                    "per-FBS list disagrees with user association");
+      FEMTOCR_CHECK(k == 0 || list[k - 1] < list[k],
+                    "per-FBS user list must stay ascending");
+      ++seen[list[k]];
+    }
+  }
+  for (std::size_t j = 0; j < users_.size(); ++j) {
+    FEMTOCR_CHECK(users_[j].id == j, "user id out of sync with index");
+    FEMTOCR_CHECK(seen[j] == 1, "user missing from association lists");
+    FEMTOCR_CHECK(users_[j].fbs == nearest_fbs(users_[j].position),
+                  "association is no longer nearest-FBS");
+  }
 }
 
 std::vector<CrUser> Topology::scatter_users(

@@ -60,6 +60,51 @@ class Topology {
   const InterferenceGraph& graph() const { return graph_; }
   const RadioConfig& radio() const { return radio_; }
 
+  // --- Incremental maintenance (the online engine's churn path) ---------
+  //
+  // The ops below keep association, links, per-FBS user lists and the
+  // activity-filtered interference graph consistent without the O(N^2)
+  // from-scratch rebuild a Topology construction performs. Invariants
+  // preserved (and cross-checked by check_active_graph_consistency):
+  // users_[j].id == j, users_of(i) strictly ascending, links are the pure
+  // functions of positions a fresh build would produce.
+
+  /// Appends a user (association and links derived here; `user.fbs` and
+  /// `user.id` inputs are ignored). Returns the new index, always the
+  /// current num_users() - 1.
+  std::size_t add_user(CrUser user);
+
+  /// Removes user j; every user above j shifts down one index (ids and
+  /// per-FBS lists are renumbered). Returns the removed record. Unlike
+  /// construction, removal may leave the deployment with zero users — the
+  /// engine idles such slots.
+  CrUser remove_user(std::size_t j);
+
+  /// Moves user j and re-derives its nearest-FBS association and both
+  /// links. Returns true when the move handed the user off to another FBS.
+  bool move_user(std::size_t j, phy::Point position);
+
+  /// Interference restricted to *active* femtocells — FBSs currently
+  /// serving at least one user. An empty femtocell does not transmit on
+  /// licensed channels, so its coverage overlaps constrain nobody; churn
+  /// and handoff therefore add and remove edges (and split or merge
+  /// components) at user-event granularity. Maintained incrementally by
+  /// the ops above; graph() stays the full coverage/explicit graph.
+  const InterferenceGraph& active_graph() const { return active_graph_; }
+
+  /// From-scratch rebuild of the activity filter — the reference the
+  /// debug cross-check compares the incremental graph against.
+  InterferenceGraph build_active_graph_reference() const;
+
+  /// Aborts (FEMTOCR_CHECK) unless the incremental active graph matches
+  /// the from-scratch rebuild in edge set and component partition, and the
+  /// association invariants hold. Called by the engine after every churn
+  /// and mobility event when graph verification is on.
+  void check_active_graph_consistency() const;
+
+  /// Index of the FBS nearest to `p` (the association rule).
+  std::size_t nearest_fbs(phy::Point p) const;
+
   /// U_i: indices of the users associated with FBS i.
   const std::vector<std::size_t>& users_of(std::size_t fbs) const;
 
@@ -76,11 +121,18 @@ class Topology {
       const std::vector<std::string>& videos, util::Rng& rng);
 
  private:
+  /// FBS i just gained its first user: add active edges to every already-
+  /// active full-graph neighbor.
+  void activate_fbs(std::size_t i);
+  /// FBS i just lost its last user: drop every active edge incident to it.
+  void deactivate_fbs(std::size_t i);
+
   MacroBaseStation mbs_;
   std::vector<FemtoBaseStation> fbss_;
   std::vector<CrUser> users_;
   RadioConfig radio_;
   InterferenceGraph graph_;
+  InterferenceGraph active_graph_;
   std::vector<std::vector<std::size_t>> users_by_fbs_;
   std::vector<phy::Link> mbs_links_;
   std::vector<phy::Link> fbs_links_;

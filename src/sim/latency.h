@@ -1,0 +1,41 @@
+// Per-run decision-latency SLO fold, shared by the batch Simulator and the
+// online Engine.
+//
+// Nearest-rank percentiles over the run's slot allocate latencies. The
+// series is wall-clock data: callers collect it only when metrics or
+// tracing are enabled, and the folded values go to JSON/stderr only —
+// never stdout (the determinism contract).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace femtocr::sim {
+
+struct LatencySlo {
+  std::int64_t p50_ns = 0;
+  std::int64_t p90_ns = 0;
+  std::int64_t p99_ns = 0;
+};
+
+/// Folds `latencies` (sorted in place) into nearest-rank percentiles.
+/// An empty series folds to all-zero.
+inline LatencySlo fold_latency_slo(std::vector<std::int64_t>& latencies) {
+  LatencySlo slo;
+  if (latencies.empty()) return slo;
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double q) {
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(latencies.size())));
+    if (rank == 0) rank = 1;
+    return latencies[rank - 1];
+  };
+  slo.p50_ns = pct(0.50);
+  slo.p90_ns = pct(0.90);
+  slo.p99_ns = pct(0.99);
+  return slo;
+}
+
+}  // namespace femtocr::sim

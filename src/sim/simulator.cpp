@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "core/heuristics.h"
+#include "sim/latency.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/stats.h"
@@ -133,16 +134,23 @@ void Simulator::move_users(util::Rng& rng) {
     max_y = std::max(max_y, f.position.y + f.coverage_radius);
   }
   const double m = scenario_.mobility.margin;
-  for (auto& u : scenario_.users) {
+  for (std::size_t j = 0; j < scenario_.users.size(); ++j) {
+    auto& u = scenario_.users[j];
     u.position.x = std::clamp(
         u.position.x + rng.normal(0.0, scenario_.mobility.step_stddev),
         min_x - m, max_x + m);
     u.position.y = std::clamp(
         u.position.y + rng.normal(0.0, scenario_.mobility.step_stddev),
         min_y - m, max_y + m);
+    // Incremental re-association + link rebuild for this user only. Links
+    // are pure functions of positions, so the result is bitwise what a
+    // from-scratch build_topology(scenario_) would produce — minus the
+    // O(N^2) reconstruction the engine cannot afford per event.
+    topology_.move_user(j, u.position);
   }
-  // Rebuild links and nearest-FBS association from the new positions.
-  topology_ = build_topology(scenario_);
+#if FEMTOCR_DCHECK_IS_ON()
+  topology_.check_active_graph_consistency();
+#endif
 }
 
 core::SlotContext Simulator::make_context(
@@ -497,18 +505,10 @@ RunResult Simulator::run() {
                    : 0.0;
   result.avg_available = sum_available / static_cast<double>(total_slots);
   result.avg_expected_channels = sum_gt / static_cast<double>(total_slots);
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    const auto pct = [&](double q) {
-      auto rank = static_cast<std::size_t>(
-          std::ceil(q * static_cast<double>(latencies.size())));
-      if (rank == 0) rank = 1;
-      return latencies[rank - 1];
-    };
-    result.decision_latency_p50_ns = pct(0.50);
-    result.decision_latency_p90_ns = pct(0.90);
-    result.decision_latency_p99_ns = pct(0.99);
-  }
+  const LatencySlo slo = fold_latency_slo(latencies);
+  result.decision_latency_p50_ns = slo.p50_ns;
+  result.decision_latency_p90_ns = slo.p90_ns;
+  result.decision_latency_p99_ns = slo.p99_ns;
   return result;
 }
 

@@ -1,0 +1,148 @@
+// Property tier: incremental topology maintenance equals a from-scratch
+// rebuild.
+//
+// 50 seeds; each seed deploys a random overlapping femtocell field, then
+// drives a random add/remove/move sequence through net::Topology's
+// incremental ops. After every op the incrementally maintained state must
+// be indistinguishable from throwing the topology away and rebuilding it:
+// identical activity-filtered edge set, identical component partition,
+// identical core::ShardPlan, identical association and links. This is the
+// contract the online engine's churn path (sim/engine.h) leans on.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/shard.h"
+#include "net/interference_graph.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace femtocr::net {
+namespace {
+
+/// A deployment whose coverage disks overlap generously: 6 FBSs on a
+/// jittered line with radii large enough that the full coverage graph is
+/// well connected, so activity filtering has real edges to add and drop.
+Topology random_topology(util::Rng& rng, std::size_t initial_users) {
+  MacroBaseStation mbs{{0, 0}};
+  std::vector<FemtoBaseStation> fbss;
+  for (std::size_t i = 0; i < 6; ++i) {
+    fbss.push_back({i,
+                    {40.0 + 25.0 * static_cast<double>(i),
+                     rng.uniform(-10.0, 10.0)},
+                    rng.uniform(12.0, 22.0)});
+  }
+  std::vector<CrUser> users = Topology::scatter_users(
+      fbss, 1, {"Bus", "Mobile", "Harbor"}, rng);
+  users.resize(initial_users);
+  return Topology(mbs, fbss, users, RadioConfig{});
+}
+
+CrUser random_user(util::Rng& rng) {
+  CrUser u;
+  u.position = {rng.uniform(30.0, 180.0), rng.uniform(-25.0, 25.0)};
+  u.video_name = "Bus";
+  return u;
+}
+
+/// The incremental topology against one rebuilt from its current users:
+/// same association, same links, same active graph, same shard plan.
+void expect_matches_rebuild(const Topology& t) {
+  // The FEMTOCR_CHECK-backed invariant bundle first (active graph vs the
+  // reference rebuild, component partition, association bookkeeping).
+  t.check_active_graph_consistency();
+  if (t.num_users() == 0) return;  // a fresh build rejects empty user sets
+  std::vector<FemtoBaseStation> fbss;
+  for (std::size_t i = 0; i < t.num_fbs(); ++i) fbss.push_back(t.fbs(i));
+  const Topology fresh(t.mbs(), fbss, t.users(), t.radio());
+  ASSERT_EQ(t.active_graph().edge_set(), fresh.active_graph().edge_set());
+  ASSERT_EQ(t.active_graph().component_of(),
+            fresh.active_graph().component_of());
+  const core::ShardPlan plan = core::ShardPlan::build(t.active_graph());
+  const core::ShardPlan plan_fresh =
+      core::ShardPlan::build(fresh.active_graph());
+  ASSERT_EQ(plan.components, plan_fresh.components);
+  ASSERT_EQ(plan.component_of, plan_fresh.component_of);
+  for (std::size_t j = 0; j < t.num_users(); ++j) {
+    ASSERT_EQ(t.user(j).fbs, fresh.user(j).fbs) << "user " << j;
+    ASSERT_DOUBLE_EQ(t.mbs_link(j).distance(), fresh.mbs_link(j).distance());
+    ASSERT_DOUBLE_EQ(t.fbs_link(j).distance(), fresh.fbs_link(j).distance());
+  }
+}
+
+TEST(IncrementalGraph, RandomChurnSequencesMatchFromScratchRebuild) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Rng rng(9000 + seed);
+    Topology t = random_topology(rng, 1 + rng.index(6));
+    expect_matches_rebuild(t);
+    for (int op = 0; op < 40; ++op) {
+      const double kind = rng.uniform();
+      if (kind < 0.4 || t.num_users() == 0) {
+        t.add_user(random_user(rng));
+      } else if (kind < 0.7) {
+        t.remove_user(rng.index(t.num_users()));
+      } else {
+        // Gaussian step, occasionally a long jump to force handoffs.
+        const std::size_t j = rng.index(t.num_users());
+        phy::Point p = t.user(j).position;
+        if (rng.uniform() < 0.25) {
+          p = random_user(rng).position;
+        } else {
+          p.x += rng.normal(0.0, 8.0);
+          p.y += rng.normal(0.0, 8.0);
+        }
+        t.move_user(j, p);
+      }
+      expect_matches_rebuild(t);
+      ASSERT_FALSE(::testing::Test::HasFailure())
+          << "seed " << seed << " op " << op;
+    }
+  }
+}
+
+TEST(IncrementalGraph, DrainToZeroAndRefill) {
+  // The engine may idle with zero sessions; the active graph must drain to
+  // edgeless and come back consistent.
+  util::Rng rng(9777);
+  Topology t = random_topology(rng, 5);
+  while (t.num_users() > 0) {
+    t.remove_user(t.num_users() - 1);
+    expect_matches_rebuild(t);
+  }
+  EXPECT_EQ(t.active_graph().num_edges(), 0u);
+  for (int k = 0; k < 8; ++k) {
+    t.add_user(random_user(rng));
+    expect_matches_rebuild(t);
+  }
+}
+
+TEST(IncrementalGraph, HandoffMovesActivityEdges) {
+  // Deterministic micro-case: one user walking across two overlapping
+  // cells while a third cell stays occupied. The active edge must follow
+  // the handoff.
+  MacroBaseStation mbs{{0, 0}};
+  std::vector<FemtoBaseStation> fbss = {
+      {0, {50, 0}, 20.0}, {1, {80, 0}, 20.0}, {2, {200, 0}, 20.0}};
+  CrUser walker;
+  walker.position = {48, 0};
+  walker.video_name = "Bus";
+  CrUser anchor;
+  anchor.position = {82, 0};
+  anchor.video_name = "Mobile";
+  Topology t(mbs, fbss, {walker, anchor}, RadioConfig{});
+  ASSERT_EQ(t.graph().num_edges(), 1u);  // only 0-1 overlap
+  EXPECT_TRUE(t.active_graph().has_edge(0, 1));
+  // Walker hands off to FBS 1: both users in the same cell, edge drops.
+  EXPECT_TRUE(t.move_user(0, {78, 0}));
+  EXPECT_EQ(t.active_graph().num_edges(), 0u);
+  t.check_active_graph_consistency();
+  // Walks back: edge returns.
+  EXPECT_TRUE(t.move_user(0, {52, 0}));
+  EXPECT_TRUE(t.active_graph().has_edge(0, 1));
+  t.check_active_graph_consistency();
+}
+
+}  // namespace
+}  // namespace femtocr::net

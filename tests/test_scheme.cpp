@@ -1,11 +1,15 @@
 // Tests for the Scheme dispatch layer: correct algorithm selection per
 // topology, agreement between the fast and distributed solvers inside the
-// Proposed scheme, and factory behaviour.
+// Proposed scheme, factory behaviour, and the shard warm-start carry
+// discipline (fingerprint keying + wall-clock expiry regressions).
 #include <gtest/gtest.h>
+
+#include <cstdint>
 
 #include "core/scheme.h"
 #include "core/waterfill.h"
 #include "test_helpers.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace femtocr::core {
@@ -99,6 +103,101 @@ TEST(Scheme, ProposedObjectiveDominatesHeuristicsInterfering) {
               EqualAllocationScheme().allocate(f.ctx).objective);
     EXPECT_GE(proposed + kSliver,
               MultiuserDiversityScheme().allocate(f.ctx).objective);
+  }
+}
+
+// ----------------------------------------- shard warm-start regressions ----
+//
+// Both tests measure core.dual.warm_start.hits deltas: on the distributed
+// path every edgeless component's solve runs with warm_start_enabled, so a
+// hit means a carried price vector was actually consumed as a seed.
+
+TEST(Scheme, ShardWarmStartCarriesAcrossStableComponents) {
+  // Positive control for the regressions below: when the component
+  // structure is unchanged slot over slot, the fingerprint-keyed carry
+  // must seed the repeated components (otherwise the two regression tests
+  // would pass trivially with warm starts disabled outright).
+  util::Rng rng(829);
+  auto f = test::random_context(rng, 8, 4, 3, {{2, 3}});  // {0} {1} {2,3}
+  ProposedScheme scheme(DualOptions{}, /*use_distributed_solver=*/true);
+  util::Counter& hits = util::metrics().counter("core.dual.warm_start.hits");
+  (void)scheme.allocate(f.ctx);
+  const std::uint64_t h0 = hits.total();
+  (void)scheme.allocate(f.ctx);
+  EXPECT_GT(hits.total(), h0);
+}
+
+TEST(Scheme, ShardWarmStartGoesColdWhenComponentMembershipChanges) {
+  // Regression: shard prices used to be carried by component *position*
+  // whenever the component count matched. Slot A's components are
+  // {0} {1} {2,3}; slot B's are {0,1} {2} {3} — same count, disjoint
+  // membership everywhere. Pre-fix, position 1's stale single-FBS price
+  // vector (from component {1}) seeded component {2} of slot B; keyed by
+  // (min vertex, size) fingerprints, nothing matches and every component
+  // must start cold.
+  util::Rng rng(831);
+  auto a = test::random_context(rng, 8, 4, 3, {{2, 3}});
+  auto b = test::random_context(rng, 8, 4, 3, {{0, 1}});
+  ProposedScheme scheme(DualOptions{}, /*use_distributed_solver=*/true);
+  util::Counter& hits = util::metrics().counter("core.dual.warm_start.hits");
+  (void)scheme.allocate(a.ctx);
+  const std::uint64_t h0 = hits.total();
+  (void)scheme.allocate(b.ctx);
+  EXPECT_EQ(hits.total(), h0);
+}
+
+TEST(Scheme, ShardWarmPricesExpireOnWallClockSlots) {
+  // Regression: shard_warm_age_ only advanced on interfering slots, so a
+  // carry could survive an arbitrarily long edgeless stretch and seed a
+  // far-stale solve. The contract is wall-clock slots: within
+  // kMaxWarmAgeSlots the carry survives intervening edgeless slots, past
+  // it the carry must be dropped even though no interfering slot aged it.
+  util::Rng rng(837);
+  auto interfering = test::random_context(rng, 8, 4, 3, {{2, 3}});
+  auto edgeless = test::random_context(rng, 8, 4, 3);
+  util::Counter& hits = util::metrics().counter("core.dual.warm_start.hits");
+  {
+    ProposedScheme scheme(DualOptions{}, /*use_distributed_solver=*/true);
+    (void)scheme.allocate(interfering.ctx);
+    for (int t = 0; t < 3; ++t) (void)scheme.allocate(edgeless.ctx);
+    const std::uint64_t h0 = hits.total();
+    (void)scheme.allocate(interfering.ctx);  // age 4: carry still live
+    EXPECT_GT(hits.total(), h0);
+  }
+  {
+    ProposedScheme scheme(DualOptions{}, /*use_distributed_solver=*/true);
+    (void)scheme.allocate(interfering.ctx);
+    for (int t = 0; t < 9; ++t) (void)scheme.allocate(edgeless.ctx);
+    const std::uint64_t h0 = hits.total();
+    (void)scheme.allocate(interfering.ctx);  // age 10 > 8: must go cold
+    EXPECT_EQ(hits.total(), h0);
+  }
+}
+
+TEST(Scheme, GlobalWarmPricesExpireOnWallClockSlots) {
+  // Symmetric check for the global edgeless carry: a connected interfering
+  // graph takes the monolithic greedy (no dual solves at all), so it never
+  // refreshes warm_lambda_ — but it must still age it.
+  util::Rng rng(839);
+  auto edgeless = test::random_context(rng, 8, 4, 3);
+  auto connected =
+      test::random_context(rng, 8, 4, 3, {{0, 1}, {1, 2}, {2, 3}});
+  util::Counter& hits = util::metrics().counter("core.dual.warm_start.hits");
+  {
+    ProposedScheme scheme(DualOptions{}, /*use_distributed_solver=*/true);
+    (void)scheme.allocate(edgeless.ctx);
+    for (int t = 0; t < 3; ++t) (void)scheme.allocate(connected.ctx);
+    const std::uint64_t h0 = hits.total();
+    (void)scheme.allocate(edgeless.ctx);  // age 4: carry still live
+    EXPECT_GT(hits.total(), h0);
+  }
+  {
+    ProposedScheme scheme(DualOptions{}, /*use_distributed_solver=*/true);
+    (void)scheme.allocate(edgeless.ctx);
+    for (int t = 0; t < 9; ++t) (void)scheme.allocate(connected.ctx);
+    const std::uint64_t h0 = hits.total();
+    (void)scheme.allocate(edgeless.ctx);  // age 10 > 8: must go cold
+    EXPECT_EQ(hits.total(), h0);
   }
 }
 
